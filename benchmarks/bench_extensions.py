@@ -1,0 +1,105 @@
+"""Benchmarks for the extension layers (not paper figures).
+
+Covers the post-mining tooling so performance regressions there are
+visible: 3D rule derivation, the FCC classifier's fit/predict path,
+greedy-cover summarization, result verification, and the rank-4
+hyper-cube miner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    FCCClassifier,
+    derive_rules,
+    greedy_cover,
+    threshold_profile,
+)
+from repro.api import mine
+from repro.core import verify_result
+from repro.core.constraints import Thresholds
+from repro.core.dataset import Dataset3D
+from repro.datasets import planted_tensor
+from repro.ndim import mine_nd
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A planted tensor plus its mined result, shared by the benches."""
+    planted = planted_tensor(
+        (8, 12, 80), n_blocks=6, block_shape=(3, 4, 10),
+        background_density=0.12, seed=17,
+    )
+    thresholds = Thresholds(2, 3, 4)
+    result = mine(planted.dataset, thresholds)
+    return planted.dataset, thresholds, result
+
+
+def test_ext_derive_rules(benchmark, workload):
+    dataset, _thresholds, result = workload
+    rules = benchmark.pedantic(
+        derive_rules, args=(dataset, result),
+        kwargs={"min_confidence": 0.8, "max_antecedent": 1},
+        rounds=1, iterations=1,
+    )
+    assert isinstance(rules, list)
+
+
+def test_ext_greedy_cover(benchmark, workload):
+    dataset, _thresholds, result = workload
+    steps = benchmark.pedantic(
+        greedy_cover, args=(dataset, result), kwargs={"max_cubes": 10},
+        rounds=1, iterations=1,
+    )
+    assert steps
+
+
+def test_ext_verify_result(benchmark, workload):
+    dataset, thresholds, result = workload
+    report = benchmark.pedantic(
+        verify_result, args=(dataset, result, thresholds),
+        rounds=1, iterations=1,
+    )
+    assert report.ok
+
+
+def test_ext_classifier_fit(benchmark):
+    rng = np.random.default_rng(23)
+    l, m, n_per = 6, 40, 10
+    data = rng.random((l, 2 * n_per, m)) < 0.1
+    data[np.ix_([0, 1, 2], range(n_per), range(10))] = True
+    data[np.ix_([3, 4, 5], range(n_per, 2 * n_per), range(20, 30))] = True
+    dataset = Dataset3D(data)
+    labels = ["A"] * n_per + ["B"] * n_per
+
+    def fit():
+        return FCCClassifier(Thresholds(2, 4, 4), min_confidence=0.7).fit(
+            dataset, labels
+        )
+
+    clf = benchmark.pedantic(fit, rounds=1, iterations=1)
+    assert clf.score(dataset, labels) == 1.0
+
+
+def test_ext_threshold_profile(benchmark, workload):
+    dataset, thresholds, _result = workload
+    points = benchmark.pedantic(
+        threshold_profile,
+        args=(dataset, thresholds),
+        kwargs={"axis": "min_c", "values": [4, 6, 8]},
+        rounds=1, iterations=1,
+    )
+    counts = [p.n_cubes for p in points]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_ext_mine_nd_rank4(benchmark):
+    rng = np.random.default_rng(29)
+    data = rng.random((5, 5, 6, 40)) < 0.25
+    data[np.ix_([0, 1, 2], [0, 1], [0, 1, 2], range(8))] = True
+    result = benchmark.pedantic(
+        mine_nd, args=(data, (2, 2, 2, 3)), rounds=1, iterations=1
+    )
+    assert len(result) >= 1

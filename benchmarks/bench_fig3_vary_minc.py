@@ -1,0 +1,102 @@
+"""Figure 3 — vary minC: CubeMiner vs RSM-H vs RSM-R.
+
+Paper setup: minH=minR=3; minC swept on both real datasets.
+Panel (a) Elutriation 14x9x7161, series CubeMiner / RSM_H / RSM_R;
+panel (b) CDC15 19x9x7761, series CubeMiner / RSM_R.
+
+Expected shape: RSM-R far faster than RSM-H (|R|=9 < |H|=14/19 —
+enumerating the smallest dimension wins); RSM-R beats CubeMiner at low
+minC; CubeMiner catches up as minC rises and overtakes at high minC
+(RSM pays the fixed representative-slice enumeration cost even when
+slices yield nothing).
+
+Scaled substitute: minC fractions of the paper's 900-1300 / 7161 and
+1000-1400 / 7761 ranges, extended upward to keep the crossover visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import cdc15_bench, elutriation_bench, print_series_table, scale_minc, timed
+from repro.core.constraints import Thresholds
+from repro.cubeminer import cubeminer_mine
+from repro.rsm import rsm_mine
+
+ELU_MINC = [scale_minc(v, 7161) for v in (900, 1000, 1100, 1200, 1300, 1450, 1600)]
+CDC_MINC = [scale_minc(v, 7761) for v in (1000, 1100, 1200, 1300, 1400, 1550, 1700)]
+
+
+def _cubeminer(dataset, min_c):
+    return cubeminer_mine(dataset, Thresholds(3, 3, min_c))
+
+
+def _rsm(dataset, min_c, base_axis):
+    return rsm_mine(dataset, Thresholds(3, 3, min_c), base_axis=base_axis)
+
+
+@pytest.mark.parametrize("min_c", ELU_MINC, ids=lambda v: f"minC={v}")
+def test_fig3a_elutriation_cubeminer(benchmark, min_c):
+    benchmark.pedantic(_cubeminer, args=(elutriation_bench(), min_c),
+                       rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("min_c", ELU_MINC, ids=lambda v: f"minC={v}")
+def test_fig3a_elutriation_rsm_h(benchmark, min_c):
+    benchmark.pedantic(_rsm, args=(elutriation_bench(), min_c, "height"),
+                       rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("min_c", ELU_MINC, ids=lambda v: f"minC={v}")
+def test_fig3a_elutriation_rsm_r(benchmark, min_c):
+    benchmark.pedantic(_rsm, args=(elutriation_bench(), min_c, "row"),
+                       rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("min_c", CDC_MINC, ids=lambda v: f"minC={v}")
+def test_fig3b_cdc15_cubeminer(benchmark, min_c):
+    benchmark.pedantic(_cubeminer, args=(cdc15_bench(), min_c),
+                       rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("min_c", CDC_MINC, ids=lambda v: f"minC={v}")
+def test_fig3b_cdc15_rsm_r(benchmark, min_c):
+    benchmark.pedantic(_rsm, args=(cdc15_bench(), min_c, "row"),
+                       rounds=1, iterations=1)
+
+
+def sweep() -> None:
+    """Print both Figure 3 panels as series tables."""
+    elu = elutriation_bench()
+    series_a: dict[str, list[float]] = {"CubeMiner": [], "RSM_H": [], "RSM_R": []}
+    counts_a: list[int] = []
+    for min_c in ELU_MINC:
+        t, result = timed(_cubeminer, elu, min_c)
+        series_a["CubeMiner"].append(t)
+        t, _ = timed(_rsm, elu, min_c, "height")
+        series_a["RSM_H"].append(t)
+        t, _ = timed(_rsm, elu, min_c, "row")
+        series_a["RSM_R"].append(t)
+        counts_a.append(len(result))
+    print_series_table(
+        "Figure 3(a): Elutriation, vary minC (minH=minR=3)",
+        "minC", ELU_MINC, series_a, counts=counts_a,
+    )
+
+    cdc = cdc15_bench()
+    series_b: dict[str, list[float]] = {"CubeMiner": [], "RSM_R": []}
+    counts_b: list[int] = []
+    for min_c in CDC_MINC:
+        t, result = timed(_cubeminer, cdc, min_c)
+        series_b["CubeMiner"].append(t)
+        t, _ = timed(_rsm, cdc, min_c, "row")
+        series_b["RSM_R"].append(t)
+        counts_b.append(len(result))
+    print_series_table(
+        "Figure 3(b): CDC15, vary minC (minH=minR=3)",
+        "minC", CDC_MINC, series_b, counts=counts_b,
+    )
+
+
+if __name__ == "__main__":
+    sweep()

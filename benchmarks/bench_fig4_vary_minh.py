@@ -1,0 +1,78 @@
+"""Figure 4 — vary minH: CubeMiner vs RSM.
+
+Paper setup: minR=3; minC=1000 (Elutriation) / 1100 (CDC15), chosen so
+both algorithms start near parity; minH swept 5..9 (Elutriation) and
+5..10 (CDC15).  RSM enumerates the smallest dimension (RSM-R).
+
+Expected shape: both curves fall as minH rises (a larger threshold
+prunes more); the relative order of RSM and CubeMiner persists across
+the sweep (paper: "the relative performance remains largely the same").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import cdc15_bench, elutriation_bench, print_series_table, scale_minc, timed
+from repro.core.constraints import Thresholds
+from repro.cubeminer import cubeminer_mine
+from repro.rsm import rsm_mine
+
+ELU_MINC = scale_minc(1000, 7161)
+CDC_MINC = scale_minc(1100, 7761)
+ELU_MINH = [5, 6, 7, 8, 9]
+CDC_MINH = [5, 6, 7, 8, 9, 10]
+
+
+def _cubeminer(dataset, min_h, min_c):
+    return cubeminer_mine(dataset, Thresholds(min_h, 3, min_c))
+
+
+def _rsm(dataset, min_h, min_c):
+    return rsm_mine(dataset, Thresholds(min_h, 3, min_c), base_axis="auto")
+
+
+@pytest.mark.parametrize("min_h", ELU_MINH, ids=lambda v: f"minH={v}")
+def test_fig4a_elutriation_cubeminer(benchmark, min_h):
+    benchmark.pedantic(_cubeminer, args=(elutriation_bench(), min_h, ELU_MINC),
+                       rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("min_h", ELU_MINH, ids=lambda v: f"minH={v}")
+def test_fig4a_elutriation_rsm(benchmark, min_h):
+    benchmark.pedantic(_rsm, args=(elutriation_bench(), min_h, ELU_MINC),
+                       rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("min_h", CDC_MINH, ids=lambda v: f"minH={v}")
+def test_fig4b_cdc15_cubeminer(benchmark, min_h):
+    benchmark.pedantic(_cubeminer, args=(cdc15_bench(), min_h, CDC_MINC),
+                       rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("min_h", CDC_MINH, ids=lambda v: f"minH={v}")
+def test_fig4b_cdc15_rsm(benchmark, min_h):
+    benchmark.pedantic(_rsm, args=(cdc15_bench(), min_h, CDC_MINC),
+                       rounds=1, iterations=1)
+
+
+def sweep() -> None:
+    for title, dataset, minh_values, min_c in (
+        (f"Figure 4(a): Elutriation, vary minH (minR=3, minC={ELU_MINC})",
+         elutriation_bench(), ELU_MINH, ELU_MINC),
+        (f"Figure 4(b): CDC15, vary minH (minR=3, minC={CDC_MINC})",
+         cdc15_bench(), CDC_MINH, CDC_MINC),
+    ):
+        series: dict[str, list[float]] = {"CubeMiner": [], "RSM": []}
+        counts: list[int] = []
+        for min_h in minh_values:
+            t, result = timed(_cubeminer, dataset, min_h, min_c)
+            series["CubeMiner"].append(t)
+            t, _ = timed(_rsm, dataset, min_h, min_c)
+            series["RSM"].append(t)
+            counts.append(len(result))
+        print_series_table(title, "minH", minh_values, series, counts=counts)
+
+
+if __name__ == "__main__":
+    sweep()

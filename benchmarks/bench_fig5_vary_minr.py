@@ -1,0 +1,73 @@
+"""Figure 5 — vary minR: CubeMiner vs RSM.
+
+Paper setup: minH=3; minC=1000 (Elutriation) / 1100 (CDC15); minR swept
+3..7.  Expected shape: times fall as minR rises; relative order of the
+two algorithms persists (same rationale as Figure 4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import cdc15_bench, elutriation_bench, print_series_table, scale_minc, timed
+from repro.core.constraints import Thresholds
+from repro.cubeminer import cubeminer_mine
+from repro.rsm import rsm_mine
+
+ELU_MINC = scale_minc(1000, 7161)
+CDC_MINC = scale_minc(1100, 7761)
+MINR_VALUES = [3, 4, 5, 6, 7]
+
+
+def _cubeminer(dataset, min_r, min_c):
+    return cubeminer_mine(dataset, Thresholds(3, min_r, min_c))
+
+
+def _rsm(dataset, min_r, min_c):
+    return rsm_mine(dataset, Thresholds(3, min_r, min_c), base_axis="auto")
+
+
+@pytest.mark.parametrize("min_r", MINR_VALUES, ids=lambda v: f"minR={v}")
+def test_fig5a_elutriation_cubeminer(benchmark, min_r):
+    benchmark.pedantic(_cubeminer, args=(elutriation_bench(), min_r, ELU_MINC),
+                       rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("min_r", MINR_VALUES, ids=lambda v: f"minR={v}")
+def test_fig5a_elutriation_rsm(benchmark, min_r):
+    benchmark.pedantic(_rsm, args=(elutriation_bench(), min_r, ELU_MINC),
+                       rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("min_r", MINR_VALUES, ids=lambda v: f"minR={v}")
+def test_fig5b_cdc15_cubeminer(benchmark, min_r):
+    benchmark.pedantic(_cubeminer, args=(cdc15_bench(), min_r, CDC_MINC),
+                       rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("min_r", MINR_VALUES, ids=lambda v: f"minR={v}")
+def test_fig5b_cdc15_rsm(benchmark, min_r):
+    benchmark.pedantic(_rsm, args=(cdc15_bench(), min_r, CDC_MINC),
+                       rounds=1, iterations=1)
+
+
+def sweep() -> None:
+    for title, dataset, min_c in (
+        (f"Figure 5(a): Elutriation, vary minR (minH=3, minC={ELU_MINC})",
+         elutriation_bench(), ELU_MINC),
+        (f"Figure 5(b): CDC15, vary minR (minH=3, minC={CDC_MINC})",
+         cdc15_bench(), CDC_MINC),
+    ):
+        series: dict[str, list[float]] = {"CubeMiner": [], "RSM": []}
+        counts: list[int] = []
+        for min_r in MINR_VALUES:
+            t, result = timed(_cubeminer, dataset, min_r, min_c)
+            series["CubeMiner"].append(t)
+            t, _ = timed(_rsm, dataset, min_r, min_c)
+            series["RSM"].append(t)
+            counts.append(len(result))
+        print_series_table(title, "minR", MINR_VALUES, series, counts=counts)
+
+
+if __name__ == "__main__":
+    sweep()

@@ -1,0 +1,77 @@
+"""Figure 7 — vary the size of the height dimension (synthetic data).
+
+Paper setup: synthetic datasets, 30% density, 20 rows, 1000 columns,
+heights swept 8..20; minH=minR=3, minC=30; time plotted on a log scale.
+
+Expected shape: both algorithms slow down as heights grow; RSM's time
+explodes (the number of representative slices is exponential in the
+enumerated dimension) while CubeMiner grows gently, so CubeMiner wins
+clearly at larger height counts (a visible crossover).
+
+Scaled substitute: h x 12 x 250 tensors with planted correlated blocks
+in 30% background noise (the IBM generator's correlated transactions),
+minC=8 ~ the paper's 30/1000 fraction; heights swept 6..16.  RSM here
+enumerates the *height* dimension deliberately — that is the dimension
+whose growth the figure studies.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from common import print_series_table, synthetic_heights_bench, timed
+from repro.core.constraints import Thresholds
+from repro.cubeminer import cubeminer_mine
+from repro.rsm import rsm_mine
+
+HEIGHTS = [6, 8, 10, 12, 14, 16]
+THRESHOLDS = Thresholds(3, 3, 8)
+
+
+def _cubeminer(n_heights):
+    return cubeminer_mine(synthetic_heights_bench(n_heights), THRESHOLDS)
+
+
+def _rsm(n_heights):
+    return rsm_mine(
+        synthetic_heights_bench(n_heights), THRESHOLDS, base_axis="height"
+    )
+
+
+@pytest.mark.parametrize("n_heights", HEIGHTS, ids=lambda v: f"heights={v}")
+def test_fig7_cubeminer(benchmark, n_heights):
+    benchmark.pedantic(_cubeminer, args=(n_heights,), rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("n_heights", HEIGHTS, ids=lambda v: f"heights={v}")
+def test_fig7_rsm(benchmark, n_heights):
+    benchmark.pedantic(_rsm, args=(n_heights,), rounds=1, iterations=1)
+
+
+def sweep() -> None:
+    series: dict[str, list[float]] = {"CubeMiner": [], "RSM": []}
+    log_series: dict[str, list[float]] = {"lg CubeMiner": [], "lg RSM": []}
+    counts: list[int] = []
+    for n_heights in HEIGHTS:
+        t_cm, result = timed(_cubeminer, n_heights)
+        t_rsm, rsm_result = timed(_rsm, n_heights)
+        assert result.same_cubes(rsm_result)
+        series["CubeMiner"].append(t_cm)
+        series["RSM"].append(t_rsm)
+        log_series["lg CubeMiner"].append(math.log10(max(t_cm, 1e-6)))
+        log_series["lg RSM"].append(math.log10(max(t_rsm, 1e-6)))
+        counts.append(len(result))
+    print_series_table(
+        "Figure 7: vary heights (R*C=12*250, 30% density, minH=minR=3, minC=8)",
+        "heights", HEIGHTS, series, counts=counts,
+    )
+    print_series_table(
+        "Figure 7 (log10 seconds, the paper's presentation)",
+        "heights", HEIGHTS, log_series,
+    )
+
+
+if __name__ == "__main__":
+    sweep()

@@ -1,0 +1,113 @@
+"""Figure 8 — large synthetic dataset: CubeMiner vs P-CubeMiner(8).
+
+Paper setup: 100 x 100 x 10000 synthetic data at 10% density.
+Panel (a): minC=100 fixed, minH=minR swept 5..30;
+panel (b): minH=minR=30 fixed, minC swept 100..600.
+RSM is omitted — the paper reports it "failed to finish processing
+after long hours" with 100 heights to enumerate.
+
+Expected shape: both curves fall as thresholds rise; the 8-processor
+parallel version sits well below sequential CubeMiner throughout.
+
+Scaled substitute: 24 x 24 x 400 with planted blocks in 10% background
+noise; minH=minR swept 4..10, minC swept 10..60.  P-CubeMiner(8) is
+reconstructed via the task-time scheduler simulation (and validated by
+real multiprocessing at the core counts this machine has), as in
+Figure 6.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import large_synthetic_bench, print_series_table, timed
+from repro.core.constraints import Thresholds
+from repro.cubeminer import cubeminer_mine
+from repro.parallel import (
+    CommunicationModel,
+    measure_cubeminer_task_times,
+    parallel_cubeminer_mine,
+    simulate_response_times,
+)
+
+MINHR_VALUES = [4, 6, 8, 10]
+MINC_VALUES = [10, 20, 30, 45, 60]
+FIXED_MINC = 10
+FIXED_MINHR = 8
+N_PROCESSORS = 8
+BROADCAST_FRACTION = 0.004
+
+
+def _cubeminer(thresholds: Thresholds):
+    return cubeminer_mine(large_synthetic_bench(), thresholds)
+
+
+def _simulated_parallel(thresholds: Thresholds) -> float:
+    times = measure_cubeminer_task_times(
+        large_synthetic_bench(), thresholds, min_tasks=64
+    )
+    comm = CommunicationModel(
+        broadcast_seconds_per_processor=sum(times) * BROADCAST_FRACTION
+    )
+    return simulate_response_times(times, [N_PROCESSORS], communication=comm)[
+        N_PROCESSORS
+    ]
+
+
+@pytest.mark.parametrize("min_hr", MINHR_VALUES, ids=lambda v: f"minHR={v}")
+def test_fig8a_cubeminer(benchmark, min_hr):
+    benchmark.pedantic(
+        _cubeminer, args=(Thresholds(min_hr, min_hr, FIXED_MINC),),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("min_c", MINC_VALUES, ids=lambda v: f"minC={v}")
+def test_fig8b_cubeminer(benchmark, min_c):
+    benchmark.pedantic(
+        _cubeminer, args=(Thresholds(FIXED_MINHR, FIXED_MINHR, min_c),),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig8_real_parallel_8_workers(benchmark):
+    """Real multiprocessing spot-check of the simulated P-CubeMiner(8)."""
+    benchmark.pedantic(
+        parallel_cubeminer_mine,
+        args=(large_synthetic_bench(), Thresholds(FIXED_MINHR, FIXED_MINHR, FIXED_MINC)),
+        kwargs={"n_workers": N_PROCESSORS},
+        rounds=1,
+        iterations=1,
+    )
+
+
+def sweep() -> None:
+    series_a: dict[str, list[float]] = {"CubeMiner": [], "P-CubeMiner(8)": []}
+    counts_a: list[int] = []
+    for min_hr in MINHR_VALUES:
+        thresholds = Thresholds(min_hr, min_hr, FIXED_MINC)
+        t, result = timed(_cubeminer, thresholds)
+        series_a["CubeMiner"].append(t)
+        series_a["P-CubeMiner(8)"].append(_simulated_parallel(thresholds))
+        counts_a.append(len(result))
+    print_series_table(
+        f"Figure 8(a): 24x24x400 synthetic, vary minH=minR (minC={FIXED_MINC})",
+        "minH=minR", MINHR_VALUES, series_a, counts=counts_a,
+    )
+
+    series_b: dict[str, list[float]] = {"CubeMiner": [], "P-CubeMiner(8)": []}
+    counts_b: list[int] = []
+    for min_c in MINC_VALUES:
+        thresholds = Thresholds(FIXED_MINHR, FIXED_MINHR, min_c)
+        t, result = timed(_cubeminer, thresholds)
+        series_b["CubeMiner"].append(t)
+        series_b["P-CubeMiner(8)"].append(_simulated_parallel(thresholds))
+        counts_b.append(len(result))
+    print_series_table(
+        f"Figure 8(b): 24x24x400 synthetic, vary minC (minH=minR={FIXED_MINHR})",
+        "minC", MINC_VALUES, series_b, counts=counts_b,
+    )
+
+
+if __name__ == "__main__":
+    sweep()

@@ -1,0 +1,79 @@
+"""Tables 1-3 / Figure 1 — micro-benchmarks on the running example.
+
+The paper's tables are worked examples rather than timed experiments;
+these benchmarks exercise the code paths that *produce* them (cutter
+construction, the traced tree, the RSM walk-through, and each miner on
+the 3x4x5 context) so regressions in the core loops show up even at
+toy scale.  Correctness of the table *contents* is pinned in
+tests/test_paper_example.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import Thresholds
+from repro.core.reference import reference_mine
+from repro.cubeminer import cubeminer_mine
+from repro.cubeminer.cutter import HeightOrder, build_cutters
+from repro.cubeminer.trace import trace_tree
+from repro.datasets import paper_example
+from repro.fcp import FCP_MINERS, get_fcp_miner
+from repro.fcp.matrix import BinaryMatrix
+from repro.rsm import rsm_mine
+from repro.rsm.trace import trace_rsm
+
+THRESHOLDS = Thresholds(2, 2, 2)
+
+
+def test_table3_build_cutters(benchmark):
+    dataset = paper_example()
+    result = benchmark(build_cutters, dataset, HeightOrder.ORIGINAL)
+    assert len(result) == 10
+
+
+def test_figure1_trace_tree(benchmark):
+    dataset = paper_example()
+    tree = benchmark.pedantic(
+        trace_tree, args=(dataset, THRESHOLDS), rounds=3, iterations=1
+    )
+    assert len(tree.leaves()) == 5
+
+
+def test_table2_trace_rsm(benchmark):
+    dataset = paper_example()
+    traces = benchmark.pedantic(
+        trace_rsm, args=(dataset, THRESHOLDS), rounds=3, iterations=1
+    )
+    assert sum(len(t.kept) for t in traces) == 5
+
+
+def test_example_cubeminer(benchmark):
+    dataset = paper_example()
+    result = benchmark(cubeminer_mine, dataset, THRESHOLDS)
+    assert len(result) == 5
+
+
+def test_example_rsm(benchmark):
+    dataset = paper_example()
+    result = benchmark(rsm_mine, dataset, THRESHOLDS)
+    assert len(result) == 5
+
+
+def test_example_reference(benchmark):
+    dataset = paper_example()
+    result = benchmark(reference_mine, dataset, THRESHOLDS)
+    assert len(result) == 5
+
+
+@pytest.mark.parametrize("miner_name", sorted(FCP_MINERS))
+def test_example_2d_miners_on_slice(benchmark, miner_name):
+    """Phase-2 cost per representative slice, per 2D algorithm."""
+    dataset = paper_example()
+    from repro.core.bitset import mask_of
+    from repro.rsm.slices import representative_slice
+
+    rs = representative_slice(dataset, mask_of([1, 2]))
+    miner = get_fcp_miner(miner_name)
+    patterns = benchmark(miner.mine, rs, 2, 2)
+    assert len(patterns) == 3

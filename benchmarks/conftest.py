@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Makes the ``benchmarks`` directory importable as a package root so the
+modules can ``import common``, and keeps pytest-benchmark runs short:
+every benchmark here uses ``benchmark.pedantic(..., rounds=N)`` with a
+small N — the quantities of interest are coarse relative timings
+(factors of 2x-100x between algorithms), not nanosecond precision.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,65 @@
+"""Run every figure sweep and write the outputs to files.
+
+Usage::
+
+    python benchmarks/run_all.py [output_dir]
+
+Executes the standalone ``sweep()`` of every bench module in paper
+order and tees each table both to stdout and to
+``<output_dir>/<module>.txt`` (default ``benchmarks/results/``).
+These text tables are the measured data EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import sys
+import time
+from pathlib import Path
+
+import bench_ablation
+import bench_robustness
+import bench_fig2_ordering
+import bench_fig3_vary_minc
+import bench_fig4_vary_minh
+import bench_fig5_vary_minr
+import bench_fig6_parallel
+import bench_fig7_vary_heights
+import bench_fig8_large
+
+MODULES = [
+    bench_fig2_ordering,
+    bench_fig3_vary_minc,
+    bench_fig4_vary_minh,
+    bench_fig5_vary_minr,
+    bench_fig6_parallel,
+    bench_fig7_vary_heights,
+    bench_fig8_large,
+    bench_ablation,
+    bench_robustness,
+]
+
+
+def main(output_dir: str | None = None) -> None:
+    out_root = Path(output_dir or Path(__file__).parent / "results")
+    out_root.mkdir(parents=True, exist_ok=True)
+    grand_start = time.perf_counter()
+    for module in MODULES:
+        name = module.__name__
+        print(f"\n### {name} ###")
+        start = time.perf_counter()
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            module.sweep()
+        text = buffer.getvalue()
+        print(text, end="")
+        elapsed = time.perf_counter() - start
+        print(f"### {name} done in {elapsed:.1f}s ###")
+        (out_root / f"{name}.txt").write_text(text)
+    total = time.perf_counter() - grand_start
+    print(f"\nall sweeps done in {total:.1f}s; tables in {out_root}/")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -1,0 +1,87 @@
+"""FCC-based sample classification — the paper's named future work.
+
+Run with::
+
+    python examples/gene_classification.py
+
+The paper's conclusion proposes a "classifier based on frequent closed
+cubes".  This example plays out the motivating biology: tissue samples
+(rows) from two conditions differ in which gene modules activate in
+which cell-cycle phases.  An :class:`FCCClassifier` mines FCCs on
+labeled training samples, turns pure cubes into class rules, and
+classifies held-out samples by which cube blocks light up in them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import FCCClassifier, greedy_cover
+from repro.api import mine
+from repro.core.constraints import Thresholds
+from repro.core.dataset import Dataset3D
+
+N_TIMES, N_GENES = 8, 40
+RNG = np.random.default_rng(21)
+
+
+def sample_batch(n: int, condition: str, noise: float = 0.1) -> np.ndarray:
+    """Generate (times, n, genes) expression slabs for one condition.
+
+    Healthy tissue activates genes 0-9 in early phases; tumor tissue
+    activates genes 25-34 in late phases (plus background noise).
+    """
+    slabs = RNG.random((N_TIMES, n, N_GENES)) < noise
+    if condition == "healthy":
+        slabs[np.ix_([0, 1, 2], range(n), range(0, 10))] = True
+    else:
+        slabs[np.ix_([5, 6, 7], range(n), range(25, 35))] = True
+    return slabs
+
+
+def main() -> None:
+    # --- Training data: 12 labeled samples per condition -------------
+    train = Dataset3D(
+        np.concatenate(
+            [sample_batch(12, "healthy"), sample_batch(12, "tumor")], axis=1
+        )
+    )
+    labels = ["healthy"] * 12 + ["tumor"] * 12
+
+    thresholds = Thresholds(min_h=2, min_r=5, min_c=5)
+    classifier = FCCClassifier(thresholds, min_confidence=0.75)
+    classifier.fit(train, labels)
+
+    print(f"{classifier!r}")
+    print("Learned class rules (time-block x gene-block => condition):")
+    for rule in classifier.rules[:6]:
+        print(f"  {rule.format(train)}")
+
+    print(f"\nTraining accuracy: {classifier.score(train, labels):.2f}")
+
+    # --- Held-out samples ---------------------------------------------
+    test = Dataset3D(
+        np.concatenate(
+            [sample_batch(6, "healthy"), sample_batch(6, "tumor")], axis=1
+        )
+    )
+    test_labels = ["healthy"] * 6 + ["tumor"] * 6
+    accuracy = classifier.score(test, test_labels)
+    print(f"Held-out accuracy: {accuracy:.2f}")
+
+    sample_slab = test.data[:, 0, :]
+    predicted, scores = classifier.predict_scores(sample_slab)
+    print(f"\nSample 1 votes: {scores} -> predicted {predicted!r}")
+
+    # --- Which patterns explain the data? -----------------------------
+    mined = mine(train, thresholds)
+    print(f"\nPattern summary (greedy cover of {len(mined)} FCCs):")
+    for step in greedy_cover(train, mined, max_cubes=3):
+        print(
+            f"  +{step.new_cells:>4} cells "
+            f"({step.cumulative_fraction:6.1%} total)  {step.cube.format(train)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

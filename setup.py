@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that legacy
+editable installs (``pip install -e . --no-use-pep517``) work in offline
+environments that lack the ``wheel`` package required by PEP 517 builds.
+"""
+
+from setuptools import setup
+
+setup()

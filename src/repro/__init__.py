@@ -1,0 +1,35 @@
+"""repro — Frequent Closed Cube mining in 3D binary datasets.
+
+A full reproduction of "Mining Frequent Closed Cubes in 3D Datasets"
+(Ji, Tan, Tung — VLDB 2006): the FCC model, the RSM framework on top of
+a from-scratch 2D closed-pattern substrate (D-Miner and friends), the
+CubeMiner algorithm, and parallel variants of both.
+
+Quickstart::
+
+    from repro import Dataset3D, Thresholds, mine
+
+    dataset = Dataset3D(binary_tensor)            # (heights, rows, cols)
+    result = mine(dataset, Thresholds(2, 2, 2))   # CubeMiner by default
+    for cube in result:
+        print(cube.format(dataset))
+"""
+
+from .api import mine
+from .core import Cube, Dataset3D, MiningResult, Thresholds, reference_mine
+from .cubeminer import CubeMiner, HeightOrder, cubeminer_mine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "mine",
+    "Cube",
+    "Dataset3D",
+    "MiningResult",
+    "Thresholds",
+    "reference_mine",
+    "CubeMiner",
+    "HeightOrder",
+    "cubeminer_mine",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""Post-mining analysis.
+
+* :mod:`repro.analysis.rules` — 3D association rules (paper future work).
+* :mod:`repro.analysis.classifier` — FCC-based associative classifier
+  (paper future work).
+* :mod:`repro.analysis.lattice` — containment lattice of mined cubes.
+* :mod:`repro.analysis.coverage` — greedy-cover pattern summarization.
+* :mod:`repro.analysis.explorer` — threshold search and profiling.
+* :mod:`repro.analysis.report` — one-shot text mining reports.
+* :mod:`repro.analysis.topk` — the k largest cubes via volume-floor search.
+* :mod:`repro.analysis.recovery` — match scores vs planted ground truth.
+* :mod:`repro.analysis.stats` — dataset/result descriptive statistics.
+"""
+
+from .classifier import ClassRule, FCCClassifier
+from .explorer import ProfilePoint, find_min_c_for_budget, threshold_profile
+from .coverage import CoverStep, greedy_cover
+from .lattice import (
+    CubeLattice,
+    build_containment_dag,
+    maximal_cubes,
+    minimal_cubes,
+)
+from .recovery import (
+    cube_jaccard,
+    recovery_report,
+    relevance,
+    specificity,
+)
+from .report import mining_report
+from .rules import Rule3D, cube_implication, derive_rules
+from .stats import DatasetStats, ResultStats, dataset_stats, result_stats
+from .topk import top_k_by_volume
+
+__all__ = [
+    "ClassRule",
+    "FCCClassifier",
+    "ProfilePoint",
+    "find_min_c_for_budget",
+    "threshold_profile",
+    "CoverStep",
+    "greedy_cover",
+    "CubeLattice",
+    "build_containment_dag",
+    "maximal_cubes",
+    "minimal_cubes",
+    "cube_jaccard",
+    "recovery_report",
+    "relevance",
+    "specificity",
+    "mining_report",
+    "Rule3D",
+    "cube_implication",
+    "derive_rules",
+    "DatasetStats",
+    "ResultStats",
+    "dataset_stats",
+    "result_stats",
+    "top_k_by_volume",
+]

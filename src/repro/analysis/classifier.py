@@ -1,0 +1,201 @@
+"""FCC-based associative classification (the paper's future work).
+
+The paper closes with: "we plan to study 3D association rule analysis
+and classifier based on frequent closed cubes."  This module builds
+that classifier in the CBA (Classification Based on Associations)
+style, adapted to the 3D setting:
+
+* Training rows (e.g. tissue samples) carry class labels.  FCCs are
+  mined on the training tensor; each cube's ``(heights, columns)``
+  block becomes a *class association rule* whose predicted class is
+  the majority label of the cube's rows, with
+
+  - ``confidence`` — the majority label's share of the cube's rows
+    (Laplace-smoothed), and
+  - ``coverage``  — the fraction of training rows in the cube.
+
+* A new sample is a ``heights x columns`` boolean slab.  Every rule
+  whose block is all-ones in the slab *fires*; class scores accumulate
+  ``confidence * log2(1 + block volume)`` (bigger, purer patterns count
+  more), and the best score wins.  Samples no rule matches fall back
+  to the training majority class.
+
+The classifier inherits the FCC guarantees: each rule's block is a
+maximal all-ones pattern of the training data, so rules are neither
+redundant (closedness) nor noise-fragments (the support thresholds).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..api import mine
+from ..core.bitset import bit_count, iter_bits
+from ..core.constraints import Thresholds
+from ..core.dataset import Dataset3D
+
+__all__ = ["ClassRule", "FCCClassifier"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClassRule:
+    """One class association rule derived from an FCC."""
+
+    heights: int
+    columns: int
+    label: object
+    confidence: float
+    coverage: float
+
+    @property
+    def volume(self) -> int:
+        return bit_count(self.heights) * bit_count(self.columns)
+
+    def matches(self, slab: np.ndarray) -> bool:
+        """True when the rule's block is all-ones in a (l, m) slab."""
+        hs = list(iter_bits(self.heights))
+        cs = list(iter_bits(self.columns))
+        return bool(slab[np.ix_(hs, cs)].all())
+
+    def weight(self) -> float:
+        """Voting weight: confidence scaled by pattern size."""
+        return self.confidence * math.log2(1 + self.volume)
+
+    def format(self, dataset: Dataset3D | None = None) -> str:
+        if dataset is not None:
+            hs = "".join(dataset.height_labels[k] for k in iter_bits(self.heights))
+            cs = "".join(dataset.column_labels[j] for j in iter_bits(self.columns))
+        else:
+            hs = "".join(f"h{k + 1}" for k in iter_bits(self.heights))
+            cs = "".join(f"c{j + 1}" for j in iter_bits(self.columns))
+        return (
+            f"{hs} x {cs} => {self.label!r} "
+            f"(confidence={self.confidence:.3f}, coverage={self.coverage:.3f})"
+        )
+
+
+class FCCClassifier:
+    """Classify row-samples of a 3D context by their FCC memberships.
+
+    Parameters
+    ----------
+    thresholds:
+        FCC mining thresholds used at fit time.  ``min_r`` acts as the
+        rule-support floor: a rule needs at least that many training
+        rows behind it.
+    min_confidence:
+        Rules whose majority-label share falls below this are dropped.
+    algorithm:
+        Mining algorithm forwarded to :func:`repro.api.mine`.
+    """
+
+    def __init__(
+        self,
+        thresholds: Thresholds,
+        *,
+        min_confidence: float = 0.6,
+        algorithm: str = "cubeminer",
+    ) -> None:
+        if not 0.0 < min_confidence <= 1.0:
+            raise ValueError(
+                f"min_confidence must be in (0, 1], got {min_confidence}"
+            )
+        self.thresholds = thresholds
+        self.min_confidence = min_confidence
+        self.algorithm = algorithm
+        self.rules: list[ClassRule] = []
+        self.default_label: object = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: Dataset3D, labels: Sequence[object]) -> "FCCClassifier":
+        """Mine FCCs on the training tensor and distill class rules."""
+        if len(labels) != dataset.n_rows:
+            raise ValueError(
+                f"got {len(labels)} labels for {dataset.n_rows} rows"
+            )
+        if not labels:
+            raise ValueError("cannot fit on an empty dataset")
+        label_list = list(labels)
+        n_classes = len(set(label_list))
+        self.default_label = Counter(label_list).most_common(1)[0][0]
+
+        result = mine(dataset, self.thresholds, algorithm=self.algorithm)
+        rules: dict[tuple[int, int], ClassRule] = {}
+        for cube in result:
+            row_labels = [label_list[i] for i in cube.row_indices()]
+            majority, majority_count = Counter(row_labels).most_common(1)[0]
+            # Laplace smoothing keeps tiny pure cubes from dominating.
+            confidence = (majority_count + 1) / (len(row_labels) + n_classes)
+            if confidence < self.min_confidence:
+                continue
+            key = (cube.heights, cube.columns)
+            rule = ClassRule(
+                heights=cube.heights,
+                columns=cube.columns,
+                label=majority,
+                confidence=confidence,
+                coverage=len(row_labels) / dataset.n_rows,
+            )
+            existing = rules.get(key)
+            if existing is None or rule.confidence > existing.confidence:
+                rules[key] = rule
+        self.rules = sorted(
+            rules.values(), key=lambda r: (-r.confidence, -r.coverage)
+        )
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def predict_one(self, slab: np.ndarray) -> object:
+        """Predict the class of one ``(n_heights, n_columns)`` slab."""
+        return self.predict_scores(slab)[0]
+
+    def predict_scores(self, slab: np.ndarray) -> tuple[object, dict[object, float]]:
+        """Predict plus the per-class vote scores (for inspection)."""
+        self._require_fitted()
+        slab = np.asarray(slab, dtype=bool)
+        if slab.ndim != 2:
+            raise ValueError(f"a sample slab must be rank-2, got rank {slab.ndim}")
+        scores: dict[object, float] = {}
+        for rule in self.rules:
+            if rule.matches(slab):
+                scores[rule.label] = scores.get(rule.label, 0.0) + rule.weight()
+        if not scores:
+            return self.default_label, {}
+        best = max(scores.items(), key=lambda item: item[1])
+        return best[0], scores
+
+    def predict(self, dataset: Dataset3D) -> list[object]:
+        """Predict every row of a tensor (each row yields one slab)."""
+        self._require_fitted()
+        return [
+            self.predict_one(dataset.data[:, i, :])
+            for i in range(dataset.n_rows)
+        ]
+
+    def score(self, dataset: Dataset3D, labels: Sequence[object]) -> float:
+        """Accuracy of :meth:`predict` against the given labels."""
+        if len(labels) != dataset.n_rows:
+            raise ValueError(
+                f"got {len(labels)} labels for {dataset.n_rows} rows"
+            )
+        if dataset.n_rows == 0:
+            return 0.0
+        predictions = self.predict(dataset)
+        hits = sum(1 for p, t in zip(predictions, labels) if p == t)
+        return hits / dataset.n_rows
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("classifier is not fitted; call fit() first")
+
+    def __repr__(self) -> str:
+        state = f"{len(self.rules)} rules" if self._fitted else "unfitted"
+        return f"FCCClassifier({self.thresholds}, {state})"

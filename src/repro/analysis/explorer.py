@@ -1,0 +1,111 @@
+"""Threshold exploration: find settings that yield a digestible answer.
+
+Mining thresholds are awkward to choose blind: too loose floods the
+analyst (hundreds of thousands of cubes), too tight returns nothing.
+The number of FCCs is anti-monotone in each threshold, which makes the
+search well-posed:
+
+* :func:`find_min_c_for_budget` — binary-search the largest ``minC``
+  whose answer still has at least ``target`` cubes (or, symmetrically,
+  the smallest whose answer fits under a budget);
+* :func:`threshold_profile` — sweep one axis and tabulate cube counts
+  and times, the quick overview behind Figures 2–5.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..api import mine
+from ..core.constraints import Thresholds
+from ..core.dataset import Dataset3D
+
+__all__ = ["ProfilePoint", "threshold_profile", "find_min_c_for_budget"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProfilePoint:
+    """One sweep point: thresholds, answer size, wall-clock."""
+
+    thresholds: Thresholds
+    n_cubes: int
+    elapsed_seconds: float
+
+
+def threshold_profile(
+    dataset: Dataset3D,
+    base: Thresholds,
+    *,
+    axis: str = "min_c",
+    values: list[int],
+    algorithm: str = "cubeminer",
+) -> list[ProfilePoint]:
+    """Mine once per value of one threshold axis, keeping the others.
+
+    ``axis`` is ``"min_h"``, ``"min_r"`` or ``"min_c"``.
+    """
+    if axis not in ("min_h", "min_r", "min_c"):
+        raise ValueError(f"axis must be min_h/min_r/min_c, got {axis!r}")
+    if not values:
+        raise ValueError("need at least one value to profile")
+    points = []
+    for value in values:
+        thresholds = Thresholds(**{**_as_kwargs(base), axis: int(value)})
+        start = time.perf_counter()
+        result = mine(dataset, thresholds, algorithm=algorithm)
+        points.append(
+            ProfilePoint(
+                thresholds=thresholds,
+                n_cubes=len(result),
+                elapsed_seconds=time.perf_counter() - start,
+            )
+        )
+    return points
+
+
+def find_min_c_for_budget(
+    dataset: Dataset3D,
+    base: Thresholds,
+    *,
+    max_cubes: int,
+    algorithm: str = "cubeminer",
+) -> tuple[int, int]:
+    """Smallest ``minC`` whose answer has at most ``max_cubes`` cubes.
+
+    Uses the anti-monotonicity of the cube count in ``minC`` for a
+    binary search over ``[base.min_c, n_columns]``.  Returns
+    ``(min_c, n_cubes)``; if even ``minC = n_columns`` overflows the
+    budget, that endpoint is returned with its (over-budget) count.
+    """
+    if max_cubes < 0:
+        raise ValueError(f"max_cubes must be >= 0, got {max_cubes}")
+
+    def count(min_c: int) -> int:
+        thresholds = Thresholds(base.min_h, base.min_r, min_c)
+        return len(mine(dataset, thresholds, algorithm=algorithm))
+
+    low = base.min_c
+    high = max(dataset.n_columns, low)
+    low_count = count(low)
+    if low_count <= max_cubes:
+        return low, low_count
+    high_count = count(high)
+    if high_count > max_cubes:
+        return high, high_count
+    # Invariant: count(low) > max_cubes >= count(high).
+    while high - low > 1:
+        mid = (low + high) // 2
+        if count(mid) > max_cubes:
+            low = mid
+        else:
+            high = mid
+    return high, count(high)
+
+
+def _as_kwargs(thresholds: Thresholds) -> dict[str, int]:
+    return {
+        "min_h": thresholds.min_h,
+        "min_r": thresholds.min_r,
+        "min_c": thresholds.min_c,
+    }

@@ -1,0 +1,122 @@
+"""The containment lattice of mined FCCs.
+
+Closed cubes, ordered by per-axis containment, form a partial order
+(in FCA terms: the tri-concept analogue of the concept lattice's
+order).  This module materializes it as a networkx DAG whose edges are
+the Hasse cover relation, plus the queries an analyst wants:
+
+* which cubes are maximal / minimal,
+* the ancestors (containers) and descendants (sub-cubes) of a cube,
+* the chains (nested towers of patterns),
+* the lattice height and an antichain decomposition.
+
+Note the direction: an edge ``a -> b`` means ``a`` strictly contains
+``b`` on every axis (``a`` is the more general, bigger block).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+
+from ..core.cube import Cube
+from ..core.result import MiningResult
+
+__all__ = ["build_containment_dag", "maximal_cubes", "minimal_cubes", "CubeLattice"]
+
+
+def build_containment_dag(cubes: Iterable[Cube]) -> nx.DiGraph:
+    """Build the Hasse diagram of cube containment.
+
+    Quadratic in the cube count, then transitively reduced; intended
+    for result sets of up to a few thousand cubes.
+    """
+    graph = nx.DiGraph()
+    cube_list = list(dict.fromkeys(cubes))
+    graph.add_nodes_from(cube_list)
+    for a in cube_list:
+        for b in cube_list:
+            if a is not b and a != b and a.contains(b):
+                graph.add_edge(a, b)
+    return nx.transitive_reduction(graph) if graph.number_of_edges() else graph
+
+
+def maximal_cubes(cubes: Iterable[Cube]) -> list[Cube]:
+    """Cubes contained in no other cube of the collection."""
+    cube_list = list(dict.fromkeys(cubes))
+    return [
+        a
+        for a in cube_list
+        if not any(b != a and b.contains(a) for b in cube_list)
+    ]
+
+
+def minimal_cubes(cubes: Iterable[Cube]) -> list[Cube]:
+    """Cubes that contain no other cube of the collection."""
+    cube_list = list(dict.fromkeys(cubes))
+    return [
+        a
+        for a in cube_list
+        if not any(b != a and a.contains(b) for b in cube_list)
+    ]
+
+
+class CubeLattice:
+    """Query wrapper around the containment DAG of a mining result.
+
+    Note: *frequent closed* cubes of one run are pairwise incomparable
+    (closure makes each maximal), so a lattice over a single result is
+    edgeless.  The structure becomes interesting across runs — e.g.
+    the union of results at several thresholds, where tighter-threshold
+    cubes nest inside looser ones.
+    """
+
+    def __init__(self, cubes: Iterable[Cube] | MiningResult) -> None:
+        self._cubes = list(cubes)
+        self._dag = build_containment_dag(self._cubes)
+
+    @property
+    def dag(self) -> nx.DiGraph:
+        return self._dag
+
+    def __len__(self) -> int:
+        return self._dag.number_of_nodes()
+
+    def maximal(self) -> list[Cube]:
+        """Roots: cubes with no container in the collection."""
+        return [c for c in self._dag.nodes if self._dag.in_degree(c) == 0]
+
+    def minimal(self) -> list[Cube]:
+        """Leaves: cubes containing no other cube of the collection."""
+        return [c for c in self._dag.nodes if self._dag.out_degree(c) == 0]
+
+    def containers_of(self, cube: Cube) -> list[Cube]:
+        """Every cube of the collection strictly containing ``cube``."""
+        if cube not in self._dag:
+            raise KeyError(f"{cube!r} is not in the lattice")
+        return list(nx.ancestors(self._dag, cube))
+
+    def contained_in(self, cube: Cube) -> list[Cube]:
+        """Every cube of the collection strictly inside ``cube``."""
+        if cube not in self._dag:
+            raise KeyError(f"{cube!r} is not in the lattice")
+        return list(nx.descendants(self._dag, cube))
+
+    def height(self) -> int:
+        """Length (in nodes) of the longest containment chain."""
+        if len(self._dag) == 0:
+            return 0
+        return int(nx.dag_longest_path_length(self._dag)) + 1
+
+    def longest_chain(self) -> list[Cube]:
+        """One longest nested tower, outermost first."""
+        if len(self._dag) == 0:
+            return []
+        return list(nx.dag_longest_path(self._dag))
+
+    def antichain_levels(self) -> list[list[Cube]]:
+        """Partition into levels of pairwise-incomparable cubes."""
+        if len(self._dag) == 0:
+            return []
+        return [list(level) for level in nx.topological_generations(self._dag)]

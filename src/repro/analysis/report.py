@@ -1,0 +1,92 @@
+"""One-shot text mining reports.
+
+:func:`mining_report` assembles everything an analyst looks at after a
+run into one plain-text document: the dataset profile, the run summary,
+the result-shape statistics, the top cubes by volume, a greedy-cover
+digest, and the strongest association rules.  The CLI's ``report``
+subcommand and the examples print these; they are also handy to drop
+into lab notebooks.
+"""
+
+from __future__ import annotations
+
+from ..core.dataset import Dataset3D
+from ..core.result import MiningResult
+from .coverage import greedy_cover
+from .rules import derive_rules
+from .stats import dataset_stats, result_stats
+
+__all__ = ["mining_report"]
+
+_RULE_WIDTH = 72
+
+
+def mining_report(
+    dataset: Dataset3D,
+    result: MiningResult,
+    *,
+    top_cubes: int = 10,
+    cover_cubes: int = 5,
+    max_rules: int = 10,
+    min_confidence: float = 0.8,
+) -> str:
+    """Render a complete text report for one mining run."""
+    if top_cubes < 0 or cover_cubes < 0 or max_rules < 0:
+        raise ValueError("report section sizes must be >= 0")
+    sections: list[str] = []
+
+    def heading(title: str) -> None:
+        sections.append("=" * _RULE_WIDTH)
+        sections.append(title)
+        sections.append("=" * _RULE_WIDTH)
+
+    heading("Dataset")
+    sections.append(dataset_stats(dataset).format())
+
+    heading("Run")
+    sections.append(result.summary())
+    if result.thresholds is not None:
+        sections.append(f"thresholds   : {result.thresholds}")
+    interesting = {
+        k: v
+        for k, v in result.stats.items()
+        if isinstance(v, (int, float)) and v
+    }
+    if interesting:
+        sections.append(
+            "stats        : "
+            + ", ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
+        )
+
+    heading("Result shape")
+    sections.append(result_stats(dataset, result).format())
+
+    if len(result) and top_cubes:
+        heading(f"Top {min(top_cubes, len(result))} cubes by volume")
+        ranked = sorted(result, key=lambda cube: -cube.volume)
+        for cube in ranked[:top_cubes]:
+            sections.append(f"  [{cube.volume:>5} cells] {cube.format(dataset)}")
+
+    if len(result) and cover_cubes:
+        heading(f"Greedy cover (top {cover_cubes})")
+        for step in greedy_cover(dataset, result, max_cubes=cover_cubes):
+            sections.append(
+                f"  +{step.new_cells:>5} cells -> {step.cumulative_fraction:6.1%}  "
+                f"{step.cube.format(dataset)}"
+            )
+
+    if len(result) and max_rules:
+        rules = derive_rules(
+            dataset, result, min_confidence=min_confidence, max_antecedent=1
+        )
+        heading(
+            f"Association rules (confidence >= {min_confidence:.2f}, "
+            f"{len(rules)} total)"
+        )
+        if rules:
+            for rule in rules[:max_rules]:
+                sections.append(f"  {rule.format(dataset)}")
+        else:
+            sections.append("  (none at this confidence)")
+
+    return "\n".join(sections)

@@ -1,0 +1,151 @@
+"""3D association rules from frequent closed cubes.
+
+The paper's conclusion names "3D association rule analysis based on
+frequent closed cubes" as future work; this module builds that layer.
+The 2D theory lifts naturally: a closed itemset yields rules between
+column subsets, scoped by the supporting rows.  In 3D, an FCC
+``(H', R', C')`` yields rules between *column* subsets scoped by the
+height context:
+
+    C1 => C2  within heights H'
+
+* **support** — the fraction of (height, row) pairs of the whole
+  dataset that contain ``C1 ∪ C2`` with ``H'`` intact, i.e.
+  ``|H'| * |R'| / (l * n)``;
+* **confidence** — among rows containing ``C1`` across every height of
+  ``H'``, the fraction that also contain ``C2`` across ``H'``:
+  ``|R(H' x (C1 ∪ C2))| / |R(H' x C1)|``.
+
+Because the FCC is closed, the consequent of a full-split rule is
+exactly the extra columns its antecedent implies in that height
+context — the same information-preserving property closed itemsets
+give in 2D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..core.bitset import bit_count, indices, mask_of
+from ..core.closure import row_support
+from ..core.cube import Cube
+from ..core.dataset import Dataset3D
+from ..core.result import MiningResult
+
+__all__ = ["Rule3D", "derive_rules"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule3D:
+    """An association rule scoped to a height context."""
+
+    heights: int
+    antecedent: int
+    consequent: int
+    support: float
+    confidence: float
+
+    def format(self, dataset: Dataset3D | None = None) -> str:
+        def cols(mask: int) -> str:
+            if dataset is not None:
+                return "".join(dataset.column_labels[j] for j in indices(mask))
+            return "".join(f"c{j + 1}" for j in indices(mask))
+
+        def heights_text() -> str:
+            if dataset is not None:
+                return "".join(dataset.height_labels[k] for k in indices(self.heights))
+            return "".join(f"h{k + 1}" for k in indices(self.heights))
+
+        return (
+            f"{cols(self.antecedent)} => {cols(self.consequent)} "
+            f"[heights {heights_text()}] "
+            f"(support={self.support:.3f}, confidence={self.confidence:.3f})"
+        )
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def derive_rules(
+    dataset: Dataset3D,
+    result: MiningResult,
+    *,
+    min_confidence: float = 0.5,
+    max_antecedent: int = 2,
+    max_rules: int = 10_000,
+) -> list[Rule3D]:
+    """Derive height-scoped column association rules from mined FCCs.
+
+    For each FCC and each antecedent ``C1 ⊂ C'`` of size at most
+    ``max_antecedent``, the rule ``C1 => C' \\ C1`` is emitted when its
+    confidence reaches ``min_confidence``.  Rules are deduplicated on
+    ``(heights, antecedent)`` keeping the largest consequent, so each
+    (context, antecedent) pair maps to the closure's full implication.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError(f"min_confidence must be in (0, 1], got {min_confidence}")
+    if max_antecedent < 1:
+        raise ValueError(f"max_antecedent must be >= 1, got {max_antecedent}")
+    l, n, _m = dataset.shape
+    total_pairs = l * n
+    best: dict[tuple[int, int], Rule3D] = {}
+    for cube in result:
+        columns = cube.column_indices()
+        if len(columns) < 2:
+            continue
+        base_support = (cube.h_support * cube.r_support) / total_pairs
+        for size in range(1, min(max_antecedent, len(columns) - 1) + 1):
+            for antecedent_cols in combinations(columns, size):
+                antecedent = mask_of(antecedent_cols)
+                consequent = cube.columns & ~antecedent
+                antecedent_rows = row_support(dataset, cube.heights, antecedent)
+                denominator = bit_count(antecedent_rows)
+                if denominator == 0:
+                    continue
+                confidence = cube.r_support / denominator
+                if confidence < min_confidence:
+                    continue
+                key = (cube.heights, antecedent)
+                rule = Rule3D(
+                    heights=cube.heights,
+                    antecedent=antecedent,
+                    consequent=consequent,
+                    support=base_support,
+                    confidence=confidence,
+                )
+                existing = best.get(key)
+                if existing is None or bit_count(consequent) > bit_count(
+                    existing.consequent
+                ):
+                    best[key] = rule
+                if len(best) > max_rules:
+                    raise ValueError(
+                        f"more than {max_rules} rules; raise min_confidence or "
+                        "lower max_antecedent"
+                    )
+    return sorted(
+        best.values(),
+        key=lambda rule: (-rule.confidence, -rule.support, rule.heights, rule.antecedent),
+    )
+
+
+def cube_implication(dataset: Dataset3D, cube: Cube, antecedent: int) -> Rule3D:
+    """The single rule ``antecedent => rest-of-cube-columns`` for one FCC.
+
+    A convenience for interactive exploration; raises when the
+    antecedent is not a proper subset of the cube's columns.
+    """
+    if antecedent == 0 or antecedent & ~cube.columns or antecedent == cube.columns:
+        raise ValueError("antecedent must be a non-empty proper subset of the columns")
+    l, n, _m = dataset.shape
+    antecedent_rows = row_support(dataset, cube.heights, antecedent)
+    denominator = bit_count(antecedent_rows)
+    confidence = cube.r_support / denominator if denominator else 0.0
+    return Rule3D(
+        heights=cube.heights,
+        antecedent=antecedent,
+        consequent=cube.columns & ~antecedent,
+        support=(cube.h_support * cube.r_support) / (l * n),
+        confidence=confidence,
+    )

@@ -1,0 +1,114 @@
+"""Descriptive statistics over datasets and mining results.
+
+Small, dependency-light helpers used by the CLI, the examples and the
+benchmark harness to summarize what was mined: per-slice density and
+zero counts (the quantities behind the zero-decreasing ordering
+heuristic), and distributional summaries of a result's cube sizes and
+cell coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bitset import iter_bits
+from ..core.dataset import Dataset3D
+from ..core.result import MiningResult
+
+__all__ = ["DatasetStats", "ResultStats", "dataset_stats", "result_stats"]
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetStats:
+    """Shape/density profile of a 3D dataset."""
+
+    shape: tuple[int, int, int]
+    density: float
+    n_ones: int
+    zeros_per_height: tuple[int, ...]
+    n_cutters: int
+
+    def format(self) -> str:
+        l, n, m = self.shape
+        zero_text = ", ".join(str(z) for z in self.zeros_per_height)
+        return (
+            f"shape      : {l} x {n} x {m}\n"
+            f"density    : {self.density:.4f} ({self.n_ones} ones)\n"
+            f"cutters    : {self.n_cutters}\n"
+            f"zeros/slice: [{zero_text}]"
+        )
+
+
+def dataset_stats(dataset: Dataset3D) -> DatasetStats:
+    """Profile a dataset (density, zeros per slice, cutter count)."""
+    zeros = tuple(dataset.zeros_in_height(k) for k in range(dataset.n_heights))
+    n_cutters = sum(
+        1
+        for k in range(dataset.n_heights)
+        for i in range(dataset.n_rows)
+        if dataset.zeros_mask(k, i)
+    )
+    return DatasetStats(
+        shape=dataset.shape,
+        density=dataset.density,
+        n_ones=dataset.count_ones(),
+        zeros_per_height=zeros,
+        n_cutters=n_cutters,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ResultStats:
+    """Distributional summary of a mining result."""
+
+    n_cubes: int
+    mean_h: float
+    mean_r: float
+    mean_c: float
+    max_volume: int
+    covered_cells: int
+    coverage: float
+
+    def format(self) -> str:
+        return (
+            f"cubes        : {self.n_cubes}\n"
+            f"mean supports: H={self.mean_h:.2f}, R={self.mean_r:.2f}, "
+            f"C={self.mean_c:.2f}\n"
+            f"max volume   : {self.max_volume}\n"
+            f"coverage     : {self.covered_cells} cells ({self.coverage:.2%})"
+        )
+
+
+def result_stats(dataset: Dataset3D, result: MiningResult) -> ResultStats:
+    """Summarize cube sizes and the cells the result covers.
+
+    Coverage is measured against the dataset's one-cells: the fraction
+    of ones that belong to at least one FCC.
+    """
+    if len(result) == 0:
+        return ResultStats(0, 0.0, 0.0, 0.0, 0, 0, 0.0)
+    covered = np.zeros(dataset.shape, dtype=bool)
+    h_sizes, r_sizes, c_sizes = [], [], []
+    max_volume = 0
+    for cube in result:
+        h_sizes.append(cube.h_support)
+        r_sizes.append(cube.r_support)
+        c_sizes.append(cube.c_support)
+        max_volume = max(max_volume, cube.volume)
+        hs = list(iter_bits(cube.heights))
+        rs = list(iter_bits(cube.rows))
+        cs = list(iter_bits(cube.columns))
+        covered[np.ix_(hs, rs, cs)] = True
+    n_ones = dataset.count_ones()
+    covered_ones = int((covered & dataset.data).sum())
+    return ResultStats(
+        n_cubes=len(result),
+        mean_h=float(np.mean(h_sizes)),
+        mean_r=float(np.mean(r_sizes)),
+        mean_c=float(np.mean(c_sizes)),
+        max_volume=max_volume,
+        covered_cells=covered_ones,
+        coverage=covered_ones / n_ones if n_ones else 0.0,
+    )

@@ -1,0 +1,75 @@
+"""Top-k mining: the k largest closed cubes without a full enumeration.
+
+Analysts often want "the ten biggest patterns", not a threshold.  A
+naive approach mines everything at loose thresholds and sorts — which
+can mean materializing hundreds of thousands of cubes.  The volume
+constraint added to the miners is exactly the right lever instead:
+start from a high ``min_volume`` (little work, possibly too few cubes)
+and relax it geometrically until at least ``k`` cubes exist; the search
+space explored at each step is bounded by the volume pruning, and the
+final answer is exact because closed cubes at a lower volume floor are
+a superset of those at a higher one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..api import mine
+from ..core.constraints import Thresholds
+from ..core.cube import Cube
+from ..core.dataset import Dataset3D
+
+__all__ = ["top_k_by_volume"]
+
+
+def top_k_by_volume(
+    dataset: Dataset3D,
+    k: int,
+    base: Thresholds | None = None,
+    *,
+    algorithm: str = "cubeminer",
+    shrink_factor: float = 0.5,
+) -> list[Cube]:
+    """Return up to ``k`` frequent closed cubes of largest volume.
+
+    Parameters
+    ----------
+    k:
+        How many cubes to return (fewer if the dataset has fewer FCCs).
+    base:
+        Support thresholds the cubes must additionally satisfy
+        (defaults to the all-ones :class:`Thresholds`).  Any
+        ``min_volume`` on it acts as a hard floor: cubes below it are
+        never returned, even if fewer than ``k`` remain.
+    shrink_factor:
+        Geometric relaxation per round, in (0, 1); smaller = fewer,
+        bigger mining rounds.
+
+    Ties at the k-th volume are broken by the canonical cube order.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not 0.0 < shrink_factor < 1.0:
+        raise ValueError(f"shrink_factor must be in (0, 1), got {shrink_factor}")
+    if base is None:
+        base = Thresholds()
+    l, n, m = dataset.shape
+    ceiling = l * n * m
+    if ceiling == 0 or not Thresholds(
+        base.min_h, base.min_r, base.min_c
+    ).feasible_for_shape(dataset.shape):
+        return []
+
+    floor = base.min_volume
+    # Start at the largest volume a cube could have.
+    current = ceiling
+    cubes: list[Cube] = []
+    while True:
+        thresholds = replace(base, min_volume=max(current, floor))
+        cubes = list(mine(dataset, thresholds, algorithm=algorithm))
+        if len(cubes) >= k or thresholds.min_volume <= floor:
+            break
+        current = max(floor, int(current * shrink_factor))
+    ranked = sorted(cubes, key=lambda cube: (-cube.volume, cube.sort_key()))
+    return ranked[:k]

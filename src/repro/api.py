@@ -1,0 +1,121 @@
+"""Top-level convenience API.
+
+:func:`mine` is the single entry point most users need: it picks an
+algorithm by name, optionally applies CubeMiner's canonical transpose
+(put the largest axis on columns, Section 5.2) while transparently
+mapping thresholds and result cubes back to the caller's axis order.
+"""
+
+from __future__ import annotations
+
+from .core.constraints import Thresholds
+from .core.cube import Cube
+from .core.dataset import Dataset3D
+from .core.result import MiningResult
+
+__all__ = ["mine", "ALGORITHMS"]
+
+#: Algorithm names accepted by :func:`mine`.
+ALGORITHMS = ("cubeminer", "rsm", "reference", "parallel-cubeminer", "parallel-rsm")
+
+
+def mine(
+    dataset: Dataset3D,
+    thresholds: Thresholds,
+    *,
+    algorithm: str = "cubeminer",
+    auto_transpose: bool = False,
+    **options,
+) -> MiningResult:
+    """Mine all frequent closed cubes of ``dataset``.
+
+    Parameters
+    ----------
+    dataset:
+        The 3D boolean context (heights, rows, columns).
+    thresholds:
+        Minimum supports per axis, in the dataset's axis order.
+    algorithm:
+        One of :data:`ALGORITHMS`.  ``"cubeminer"`` (default) operates on
+        the 3D tensor directly; ``"rsm"`` enumerates a base dimension and
+        reuses a 2D FCP miner; ``"reference"`` is the exponential oracle
+        (tiny inputs only); the ``parallel-*`` variants fan the task
+        decomposition of Section 6 across worker processes.
+    auto_transpose:
+        When True, permute axes so the column axis is the largest before
+        mining (CubeMiner's preprocessing heuristic) and map the found
+        cubes back to the original axis order.
+    options:
+        Forwarded to the selected algorithm (e.g. ``order=`` for
+        CubeMiner, ``base_axis=`` / ``fcp_miner=`` for RSM,
+        ``n_workers=`` for the parallel variants).
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+
+    if auto_transpose:
+        return _mine_transposed(dataset, thresholds, algorithm, options)
+    return _dispatch(dataset, thresholds, algorithm, options)
+
+
+def _dispatch(
+    dataset: Dataset3D,
+    thresholds: Thresholds,
+    algorithm: str,
+    options: dict,
+) -> MiningResult:
+    # Local imports keep `import repro` light and avoid import cycles.
+    if algorithm == "cubeminer":
+        from .cubeminer.algorithm import cubeminer_mine
+
+        return cubeminer_mine(dataset, thresholds, **options)
+    if algorithm == "rsm":
+        from .rsm.algorithm import rsm_mine
+
+        return rsm_mine(dataset, thresholds, **options)
+    if algorithm == "reference":
+        from .core.reference import reference_mine
+
+        return reference_mine(dataset, thresholds, **options)
+    if algorithm == "parallel-cubeminer":
+        from .parallel.executor import parallel_cubeminer_mine
+
+        return parallel_cubeminer_mine(dataset, thresholds, **options)
+    from .parallel.executor import parallel_rsm_mine
+
+    return parallel_rsm_mine(dataset, thresholds, **options)
+
+
+def _mine_transposed(
+    dataset: Dataset3D,
+    thresholds: Thresholds,
+    algorithm: str,
+    options: dict,
+) -> MiningResult:
+    """Mine on the canonical transpose and map cubes back."""
+    import numpy as np
+
+    order = tuple(int(axis) for axis in np.argsort(dataset.shape, kind="stable"))
+    if order == (0, 1, 2):
+        return _dispatch(dataset, thresholds, algorithm, options)
+    transposed = dataset.transpose(order)  # type: ignore[arg-type]
+    result = _dispatch(transposed, thresholds.permute(order), algorithm, options)  # type: ignore[arg-type]
+    # order[new_axis] = old_axis; build the reverse map old_axis -> new_axis.
+    inverse = [0, 0, 0]
+    for new_axis, old_axis in enumerate(order):
+        inverse[old_axis] = new_axis
+    remapped = [
+        Cube(*(
+            (cube.heights, cube.rows, cube.columns)[inverse[old_axis]]
+            for old_axis in range(3)
+        ))
+        for cube in result.cubes
+    ]
+    return MiningResult(
+        cubes=remapped,
+        algorithm=result.algorithm + "+transpose",
+        thresholds=thresholds,
+        dataset_shape=dataset.shape,
+        elapsed_seconds=result.elapsed_seconds,
+        stats=result.stats,
+    )

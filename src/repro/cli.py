@@ -1,0 +1,402 @@
+"""Command-line interface: ``repro-fcc``.
+
+Subcommands::
+
+    repro-fcc generate  — create a synthetic dataset and save it as .npz
+    repro-fcc stats     — profile a dataset (shape, density, cutters)
+    repro-fcc mine      — mine FCCs with any algorithm in the library
+    repro-fcc rules     — mine FCCs and derive 3D association rules
+    repro-fcc report    — mine and print a full analysis report
+    repro-fcc convert   — convert between npz / dense text / triples
+    repro-fcc trace     — render the CubeMiner tree or RSM walk-through
+    repro-fcc verify    — check a JSON result against a dataset
+    repro-fcc explore   — find the minC that fits a cube budget
+    repro-fcc topk      — find the k largest closed cubes
+    repro-fcc example   — reproduce the paper's running example tables
+
+Every command prints human-readable text to stdout; ``mine`` exits 0
+even when no cube is found (an empty result is a valid answer).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .analysis import dataset_stats, derive_rules, result_stats
+from .api import ALGORITHMS, mine
+from .core.constraints import Thresholds
+from .core.dataset import Dataset3D
+from .cubeminer.cutter import HeightOrder
+from .datasets import (
+    cdc15_like,
+    elutriation_like,
+    paper_example,
+    planted_tensor,
+    random_tensor,
+)
+from .fcp import FCP_MINERS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fcc",
+        description="Frequent Closed Cube mining (VLDB 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset (.npz)")
+    gen.add_argument(
+        "--kind",
+        choices=("random", "planted", "elutriation", "cdc15"),
+        default="random",
+    )
+    gen.add_argument("--shape", type=int, nargs=3, metavar=("L", "N", "M"),
+                     default=(8, 10, 50), help="heights rows columns")
+    gen.add_argument("--density", type=float, default=0.3)
+    gen.add_argument("--genes", type=int, default=800,
+                     help="gene count for microarray kinds")
+    gen.add_argument("--blocks", type=int, default=3,
+                     help="planted block count for --kind planted")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output .npz path")
+
+    stats = sub.add_parser("stats", help="profile a dataset")
+    stats.add_argument("--input", required=True, help=".npz dataset path")
+
+    mine_cmd = sub.add_parser("mine", help="mine frequent closed cubes")
+    _add_mine_arguments(mine_cmd)
+    mine_cmd.add_argument("--show", type=int, default=20,
+                          help="print at most this many cubes (0 = none)")
+    mine_cmd.add_argument("--out-json", help="also write the result as JSON")
+    mine_cmd.add_argument("--out-csv", help="also write the result as CSV")
+
+    rules = sub.add_parser("rules", help="mine FCCs and derive 3D rules")
+    _add_mine_arguments(rules)
+    rules.add_argument("--min-confidence", type=float, default=0.6)
+    rules.add_argument("--max-antecedent", type=int, default=2)
+    rules.add_argument("--show", type=int, default=20)
+
+    report = sub.add_parser(
+        "report", help="mine and print a full analysis report"
+    )
+    _add_mine_arguments(report)
+    report.add_argument("--top-cubes", type=int, default=10)
+    report.add_argument("--min-confidence", type=float, default=0.8)
+
+    convert = sub.add_parser(
+        "convert", help="convert a dataset between npz/dense-text/triples"
+    )
+    convert.add_argument("--input", required=True,
+                         help="source: .npz, .txt (dense) or .triples")
+    convert.add_argument("--out", required=True,
+                         help="destination: .npz, .txt (dense) or .triples")
+
+    trace = sub.add_parser(
+        "trace", help="render the CubeMiner tree or RSM table (small data)"
+    )
+    trace.add_argument("--input", required=True, help=".npz dataset path")
+    trace.add_argument("--kind", choices=("tree", "rsm"), default="tree")
+    trace.add_argument("--min-h", type=int, default=2)
+    trace.add_argument("--min-r", type=int, default=2)
+    trace.add_argument("--min-c", type=int, default=2)
+
+    verify = sub.add_parser(
+        "verify", help="check a JSON result against a dataset"
+    )
+    verify.add_argument("--input", required=True, help=".npz dataset path")
+    verify.add_argument("--result", required=True, help="result JSON path")
+    verify.add_argument("--complete", action="store_true",
+                        help="also check completeness (small datasets)")
+    verify.add_argument("--show", type=int, default=10,
+                        help="print at most this many violations")
+
+    explore = sub.add_parser(
+        "explore", help="find the minC that fits a cube budget"
+    )
+    explore.add_argument("--input", required=True, help=".npz dataset path")
+    explore.add_argument("--min-h", type=int, default=2)
+    explore.add_argument("--min-r", type=int, default=2)
+    explore.add_argument("--min-c", type=int, default=1,
+                         help="lower bound of the search")
+    explore.add_argument("--max-cubes", type=int, required=True)
+
+    topk = sub.add_parser("topk", help="find the k largest closed cubes")
+    topk.add_argument("--input", required=True, help=".npz dataset path")
+    topk.add_argument("-k", type=int, default=10)
+    topk.add_argument("--min-h", type=int, default=1)
+    topk.add_argument("--min-r", type=int, default=1)
+    topk.add_argument("--min-c", type=int, default=1)
+
+    sub.add_parser("example", help="reproduce the paper's running example")
+    return parser
+
+
+def _add_mine_arguments(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--input", required=True, help=".npz dataset path")
+    cmd.add_argument("--min-h", type=int, default=2)
+    cmd.add_argument("--min-r", type=int, default=2)
+    cmd.add_argument("--min-c", type=int, default=2)
+    cmd.add_argument("--min-volume", type=int, default=1,
+                     help="minimum cube volume (cells); 1 = no constraint")
+    cmd.add_argument("--algorithm", choices=ALGORITHMS, default="cubeminer")
+    cmd.add_argument("--base-axis", default="auto",
+                     help="RSM base dimension: height/row/column/auto")
+    cmd.add_argument("--fcp-miner", choices=sorted(FCP_MINERS), default="dminer")
+    cmd.add_argument("--order", choices=[o.value for o in HeightOrder],
+                     default=HeightOrder.ZERO_DECREASING.value,
+                     help="CubeMiner height-slice ordering")
+    cmd.add_argument("--workers", type=int, default=2,
+                     help="worker processes for parallel algorithms")
+
+
+def _generate(args: argparse.Namespace) -> int:
+    if args.kind == "random":
+        dataset = random_tensor(tuple(args.shape), args.density, seed=args.seed)
+    elif args.kind == "planted":
+        dataset = planted_tensor(
+            tuple(args.shape),
+            n_blocks=args.blocks,
+            background_density=args.density,
+            seed=args.seed,
+        ).dataset
+    elif args.kind == "elutriation":
+        dataset = elutriation_like(args.genes, seed=args.seed)
+    else:
+        dataset = cdc15_like(args.genes, seed=args.seed)
+    dataset.save_npz(args.out)
+    print(f"wrote {dataset!r} to {args.out}")
+    return 0
+
+
+def _load(path: str) -> Dataset3D:
+    try:
+        return Dataset3D.load_npz(path)
+    except FileNotFoundError:
+        raise SystemExit(f"error: dataset file not found: {path}")
+
+
+def _mine_with_args(args: argparse.Namespace):
+    dataset = _load(args.input)
+    thresholds = Thresholds(
+        args.min_h, args.min_r, args.min_c, min_volume=args.min_volume
+    )
+    options = {}
+    if args.algorithm == "cubeminer":
+        options["order"] = HeightOrder(args.order)
+    elif args.algorithm == "rsm":
+        options["base_axis"] = args.base_axis
+        options["fcp_miner"] = args.fcp_miner
+    elif args.algorithm == "parallel-rsm":
+        options["base_axis"] = args.base_axis
+        options["fcp_miner"] = args.fcp_miner
+        options["n_workers"] = args.workers
+    elif args.algorithm == "parallel-cubeminer":
+        options["order"] = HeightOrder(args.order)
+        options["n_workers"] = args.workers
+    result = mine(dataset, thresholds, algorithm=args.algorithm, **options)
+    return dataset, result
+
+
+def _mine(args: argparse.Namespace) -> int:
+    dataset, result = _mine_with_args(args)
+    print(result.summary())
+    print(result_stats(dataset, result).format())
+    if args.show:
+        for cube in list(result)[: args.show]:
+            print(" ", cube.format(dataset))
+        if len(result) > args.show:
+            print(f"  ... and {len(result) - args.show} more")
+    if args.out_json:
+        from .io import result_to_json
+
+        with open(args.out_json, "w") as handle:
+            handle.write(result_to_json(result, dataset))
+        print(f"wrote JSON to {args.out_json}")
+    if args.out_csv:
+        from .io import result_to_csv
+
+        with open(args.out_csv, "w") as handle:
+            handle.write(result_to_csv(result, dataset))
+        print(f"wrote CSV to {args.out_csv}")
+    return 0
+
+
+def _load_any(path: str) -> Dataset3D:
+    """Load a dataset by extension: .npz, .triples, or dense text."""
+    from .io import load_triples
+
+    if path.endswith(".npz"):
+        return _load(path)
+    try:
+        if path.endswith(".triples"):
+            return load_triples(path)
+        with open(path) as handle:
+            return Dataset3D.from_text(handle.read())
+    except FileNotFoundError:
+        raise SystemExit(f"error: dataset file not found: {path}")
+
+
+def _convert(args: argparse.Namespace) -> int:
+    from .io import save_triples
+
+    dataset = _load_any(args.input)
+    out = args.out
+    if out.endswith(".npz"):
+        dataset.save_npz(out)
+    elif out.endswith(".triples"):
+        save_triples(dataset, out)
+    else:
+        with open(out, "w") as handle:
+            handle.write(dataset.to_text())
+    print(f"wrote {dataset!r} to {out}")
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    from .cubeminer.trace import render_tree, trace_tree
+    from .rsm.trace import render_rsm_table, trace_rsm
+
+    dataset = _load(args.input)
+    thresholds = Thresholds(args.min_h, args.min_r, args.min_c)
+    try:
+        if args.kind == "tree":
+            print(render_tree(trace_tree(dataset, thresholds), dataset))
+        else:
+            print(render_rsm_table(trace_rsm(dataset, thresholds), dataset))
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    return 0
+
+
+def _rules(args: argparse.Namespace) -> int:
+    dataset, result = _mine_with_args(args)
+    print(result.summary())
+    rules = derive_rules(
+        dataset,
+        result,
+        min_confidence=args.min_confidence,
+        max_antecedent=args.max_antecedent,
+    )
+    print(f"{len(rules)} rule(s) at confidence >= {args.min_confidence}")
+    for rule in rules[: args.show]:
+        print(" ", rule.format(dataset))
+    if len(rules) > args.show:
+        print(f"  ... and {len(rules) - args.show} more")
+    return 0
+
+
+def _stats(args: argparse.Namespace) -> int:
+    dataset = _load(args.input)
+    print(dataset_stats(dataset).format())
+    return 0
+
+
+def _example(_args: argparse.Namespace) -> int:
+    from .cubeminer.trace import render_tree, trace_tree
+    from .rsm.trace import render_rsm_table, trace_rsm
+
+    dataset = paper_example()
+    thresholds = Thresholds(2, 2, 2)
+    print("== Paper running example (Table 1), minH=minR=minC=2 ==\n")
+    print("-- RSM walk-through (Table 2) --")
+    print(render_rsm_table(trace_rsm(dataset, thresholds), dataset))
+    print("\n-- CubeMiner tree (Figure 1) --")
+    print(render_tree(trace_tree(dataset, thresholds), dataset))
+    result = mine(dataset, thresholds)
+    print("\n-- FCCs --")
+    print(result.format_table(dataset))
+    return 0
+
+
+def _report(args: argparse.Namespace) -> int:
+    from .analysis.report import mining_report
+
+    dataset, result = _mine_with_args(args)
+    print(
+        mining_report(
+            dataset,
+            result,
+            top_cubes=args.top_cubes,
+            min_confidence=args.min_confidence,
+        )
+    )
+    return 0
+
+
+def _topk(args: argparse.Namespace) -> int:
+    from .analysis.topk import top_k_by_volume
+
+    dataset = _load(args.input)
+    base = Thresholds(args.min_h, args.min_r, args.min_c)
+    cubes = top_k_by_volume(dataset, args.k, base)
+    print(f"top {len(cubes)} cube(s) by volume:")
+    for cube in cubes:
+        print(f"  [{cube.volume:>6} cells] {cube.format(dataset)}")
+    return 0
+
+
+def _verify(args: argparse.Namespace) -> int:
+    from .core.verify import verify_result
+    from .io import result_from_json
+
+    dataset = _load(args.input)
+    try:
+        with open(args.result) as handle:
+            result = result_from_json(handle.read())
+    except FileNotFoundError:
+        raise SystemExit(f"error: result file not found: {args.result}")
+    report = verify_result(
+        dataset, result, check_completeness=args.complete
+    )
+    print(report.summary())
+    for violation in report.violations[: args.show]:
+        print(" ", violation)
+    if len(report.violations) > args.show:
+        print(f"  ... and {len(report.violations) - args.show} more")
+    return 0 if report.ok else 1
+
+
+def _explore(args: argparse.Namespace) -> int:
+    from .analysis.explorer import find_min_c_for_budget
+
+    dataset = _load(args.input)
+    base = Thresholds(args.min_h, args.min_r, args.min_c)
+    min_c, n_cubes = find_min_c_for_budget(
+        dataset, base, max_cubes=args.max_cubes
+    )
+    print(
+        f"minC={min_c} yields {n_cubes} cube(s) "
+        f"(budget {args.max_cubes}, minH={args.min_h}, minR={args.min_r})"
+    )
+    if n_cubes > args.max_cubes:
+        print("note: budget unreachable even at minC = column count")
+    return 0
+
+
+_HANDLERS = {
+    "generate": _generate,
+    "stats": _stats,
+    "mine": _mine,
+    "rules": _rules,
+    "report": _report,
+    "convert": _convert,
+    "trace": _trace,
+    "verify": _verify,
+    "explore": _explore,
+    "topk": _topk,
+    "example": _example,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Integer-backed bitset utilities.
+
+Every dimension set in this library (a set of heights, rows, or columns)
+is represented as a plain Python ``int`` used as a bitmask: bit ``i`` is
+set when index ``i`` belongs to the set.  Python integers are arbitrary
+precision, so a single ``&``/``|`` performs a whole-set intersection or
+union in C, which is the performance substrate that makes pure-Python
+closed-cube mining feasible.
+
+The helpers here convert between masks and index collections and provide
+the handful of set-algebra operations that the miners use in their inner
+loops.  They are free functions (not a wrapper class) on purpose: keeping
+the masks as raw ints avoids per-node object overhead in the search tree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = [
+    "bit_count",
+    "full_mask",
+    "mask_of",
+    "single_bit",
+    "iter_bits",
+    "indices",
+    "is_subset",
+    "intersects",
+    "difference",
+    "lowest_bit_index",
+    "mask_from_bools",
+    "bools_from_mask",
+]
+
+
+def bit_count(mask: int) -> int:
+    """Return the number of elements in the set encoded by ``mask``."""
+    return mask.bit_count()
+
+
+def full_mask(n: int) -> int:
+    """Return a mask with the ``n`` lowest bits set: the universe {0..n-1}."""
+    if n < 0:
+        raise ValueError(f"universe size must be non-negative, got {n}")
+    return (1 << n) - 1
+
+
+def mask_of(items: Iterable[int]) -> int:
+    """Build a mask from an iterable of non-negative indices."""
+    mask = 0
+    for item in items:
+        if item < 0:
+            raise ValueError(f"bitset indices must be non-negative, got {item}")
+        mask |= 1 << item
+    return mask
+
+
+def single_bit(index: int) -> int:
+    """Return the mask containing exactly ``index``."""
+    if index < 0:
+        raise ValueError(f"bitset indices must be non-negative, got {index}")
+    return 1 << index
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices present in ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def indices(mask: int) -> tuple[int, ...]:
+    """Return the indices present in ``mask`` as an ascending tuple."""
+    return tuple(iter_bits(mask))
+
+
+def is_subset(sub: int, sup: int) -> bool:
+    """Return True when every element of ``sub`` is in ``sup``."""
+    return sub & ~sup == 0
+
+
+def intersects(a: int, b: int) -> bool:
+    """Return True when the two sets share at least one element."""
+    return a & b != 0
+
+
+def difference(a: int, b: int) -> int:
+    """Return the set difference ``a \\ b`` as a mask."""
+    return a & ~b
+
+
+def lowest_bit_index(mask: int) -> int:
+    """Return the smallest index in ``mask`` (which must be non-empty)."""
+    if mask == 0:
+        raise ValueError("empty bitset has no lowest bit")
+    return (mask & -mask).bit_length() - 1
+
+
+def mask_from_bools(flags: Iterable[bool]) -> int:
+    """Build a mask whose bit ``i`` mirrors the truthiness of ``flags[i]``."""
+    mask = 0
+    for i, flag in enumerate(flags):
+        if flag:
+            mask |= 1 << i
+    return mask
+
+
+def bools_from_mask(mask: int, n: int) -> list[bool]:
+    """Expand ``mask`` into a list of ``n`` booleans (bit ``i`` -> index ``i``)."""
+    if mask >> n:
+        raise ValueError(f"mask {mask:#x} has bits beyond universe size {n}")
+    return [bool(mask >> i & 1) for i in range(n)]

@@ -1,0 +1,121 @@
+"""Closure operators on 3D binary datasets.
+
+These implement the paper's support-set operators (Definition 3.1):
+
+* ``H(R' x C')`` — the maximal set of heights simultaneously containing
+  the rows ``R'`` and columns ``C'`` (:func:`height_support`),
+* ``R(H' x C')`` — :func:`row_support`,
+* ``C(H' x R')`` — :func:`column_support`,
+
+together with the closed-cube predicate of Definition 3.2 and a fixpoint
+``close`` operator that grows a seed cube to a closed one.
+
+All set arguments and return values are integer bitmasks
+(see :mod:`repro.core.bitset`).
+"""
+
+from __future__ import annotations
+
+from .bitset import full_mask, is_subset, iter_bits
+from .cube import Cube
+from .dataset import Dataset3D
+
+__all__ = [
+    "column_support",
+    "row_support",
+    "height_support",
+    "is_all_ones",
+    "is_closed_cube",
+    "close",
+]
+
+
+def column_support(dataset: Dataset3D, heights: int, rows: int) -> int:
+    """Return ``C(R' x H')``: columns that are 1 on every (height, row) pair.
+
+    For empty ``heights`` or ``rows`` the intersection runs over an empty
+    family and therefore returns the full column universe; callers that
+    need a different convention must special-case empty inputs.
+    """
+    acc = full_mask(dataset.n_columns)
+    for k in iter_bits(heights):
+        for i in iter_bits(rows):
+            acc &= dataset.ones_mask(k, i)
+            if acc == 0:
+                return 0
+    return acc
+
+
+def height_support(dataset: Dataset3D, rows: int, columns: int) -> int:
+    """Return ``H(R' x C')``: heights whose slices are all-ones on R' x C'."""
+    result = 0
+    for k in range(dataset.n_heights):
+        for i in iter_bits(rows):
+            if not is_subset(columns, dataset.ones_mask(k, i)):
+                break
+        else:
+            result |= 1 << k
+    return result
+
+
+def row_support(dataset: Dataset3D, heights: int, columns: int) -> int:
+    """Return ``R(H' x C')``: rows that are all-ones on H' x C'."""
+    result = 0
+    for i in range(dataset.n_rows):
+        for k in iter_bits(heights):
+            if not is_subset(columns, dataset.ones_mask(k, i)):
+                break
+        else:
+            result |= 1 << i
+    return result
+
+
+def is_all_ones(dataset: Dataset3D, cube: Cube) -> bool:
+    """True when every cell covered by ``cube`` holds 1 (a *complete* cube)."""
+    for k in iter_bits(cube.heights):
+        for i in iter_bits(cube.rows):
+            if not is_subset(cube.columns, dataset.ones_mask(k, i)):
+                return False
+    return True
+
+
+def is_closed_cube(dataset: Dataset3D, cube: Cube) -> bool:
+    """Definition 3.2: the cube is complete and maximal in all three axes.
+
+    Empty cubes are never closed here: the paper's support thresholds are
+    at least 1 in any meaningful configuration, and treating the empty
+    cube as closed would only complicate every caller.
+    """
+    if cube.is_empty():
+        return False
+    if not is_all_ones(dataset, cube):
+        return False
+    return (
+        cube.heights == height_support(dataset, cube.rows, cube.columns)
+        and cube.rows == row_support(dataset, cube.heights, cube.columns)
+        and cube.columns == column_support(dataset, cube.heights, cube.rows)
+    )
+
+
+def close(dataset: Dataset3D, cube: Cube, max_iterations: int = 64) -> Cube:
+    """Grow ``cube`` to a fixpoint of the three support operators.
+
+    The input must be complete (all ones); the result is then a closed
+    cube containing it.  Each pass recomputes the three support sets from
+    the current pair of the other two axes; the sets only ever grow, so
+    the loop terminates.  ``max_iterations`` is a safety valve against
+    implementation bugs, not a tuning knob.
+    """
+    if cube.is_empty():
+        raise ValueError("cannot close an empty cube")
+    if not is_all_ones(dataset, cube):
+        raise ValueError("cannot close a cube that covers zero cells")
+    heights, rows, columns = cube.heights, cube.rows, cube.columns
+    for _ in range(max_iterations):
+        new_heights = height_support(dataset, rows, columns)
+        new_rows = row_support(dataset, new_heights, columns)
+        new_columns = column_support(dataset, new_heights, new_rows)
+        if (new_heights, new_rows, new_columns) == (heights, rows, columns):
+            return Cube(heights, rows, columns)
+        heights, rows, columns = new_heights, new_rows, new_columns
+    raise RuntimeError("closure did not converge — this indicates a bug")

@@ -1,0 +1,87 @@
+"""Monotone support-threshold constraints (Definition 3.3).
+
+A frequent closed cube must satisfy three minimum sizes: ``minH`` on the
+height axis, ``minR`` on rows and ``minC`` on columns.  All three are
+monotone (anti-monotone in the usual itemset-mining sense): removing an
+element from a dimension can only lower its support, so once a node in
+the search tree drops below a threshold the whole branch is pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cube import Cube
+
+__all__ = ["Thresholds"]
+
+
+@dataclass(frozen=True, slots=True)
+class Thresholds:
+    """Minimum sizes on the three axes of a frequent closed cube.
+
+    ``min_volume`` is an optional fourth monotone constraint on the
+    cube's cell count (the 3D lift of D-Miner's minimal-area
+    constraint): a node's volume only shrinks down the search tree, so
+    falling below it prunes the whole branch.  The default 1 makes it
+    inert.
+    """
+
+    min_h: int = 1
+    min_r: int = 1
+    min_c: int = 1
+    min_volume: int = 1
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("min_h", self.min_h),
+            ("min_r", self.min_r),
+            ("min_c", self.min_c),
+            ("min_volume", self.min_volume),
+        ):
+            if not isinstance(value, int):
+                raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+
+    def satisfied_by(self, cube: Cube) -> bool:
+        """True when the cube meets every minimum (supports and volume)."""
+        return (
+            cube.h_support >= self.min_h
+            and cube.r_support >= self.min_r
+            and cube.c_support >= self.min_c
+            and cube.volume >= self.min_volume
+        )
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        """``(min_h, min_r, min_c)`` in canonical axis order."""
+        return (self.min_h, self.min_r, self.min_c)
+
+    def permute(self, order: tuple[int, int, int]) -> "Thresholds":
+        """Thresholds for a dataset transposed with the same axis ``order``.
+
+        ``order[new_axis] == old_axis``, matching
+        :meth:`repro.core.dataset.Dataset3D.transpose`.  The volume
+        constraint is axis-free and carries over unchanged.
+        """
+        if sorted(order) != [0, 1, 2]:
+            raise ValueError(f"order {order!r} is not a permutation of the 3 axes")
+        values = self.as_tuple()
+        return Thresholds(
+            *(values[axis] for axis in order), min_volume=self.min_volume
+        )
+
+    def feasible_for_shape(self, shape: tuple[int, int, int]) -> bool:
+        """True when a cube meeting the thresholds can exist in ``shape``."""
+        return (
+            self.min_h <= shape[0]
+            and self.min_r <= shape[1]
+            and self.min_c <= shape[2]
+            and self.min_volume <= shape[0] * shape[1] * shape[2]
+        )
+
+    def __str__(self) -> str:
+        text = f"minH={self.min_h}, minR={self.min_r}, minC={self.min_c}"
+        if self.min_volume > 1:
+            text += f", minVolume={self.min_volume}"
+        return text

@@ -1,0 +1,396 @@
+"""Three-dimensional binary datasets.
+
+A :class:`Dataset3D` wraps an ``l x n x m`` boolean tensor
+``O = H x R x C`` (heights, rows, columns — the paper's notation) and
+provides the derived structures the miners need:
+
+* per-(height, row) column bitmasks of the one-cells and zero-cells,
+* axis transposition (CubeMiner's preprocessing makes the column axis
+  the largest one),
+* height-slice reordering (the zero-decreasing / zero-increasing
+  optimization of Section 7.1.1),
+* text and NPZ (de)serialization.
+
+Cells are addressed ``data[k, i, j]`` with ``k`` a height, ``i`` a row,
+``j`` a column, matching ``O_{k,i,j}`` in the paper.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from .bitset import full_mask
+
+__all__ = ["Dataset3D", "AXIS_NAMES"]
+
+#: Canonical axis order used throughout the library.
+AXIS_NAMES = ("height", "row", "column")
+
+_DEFAULT_PREFIX = {"height": "h", "row": "r", "column": "c"}
+
+
+def _default_labels(axis: str, n: int) -> tuple[str, ...]:
+    prefix = _DEFAULT_PREFIX[axis]
+    return tuple(f"{prefix}{i + 1}" for i in range(n))
+
+
+class Dataset3D:
+    """An immutable 3D boolean context ``H x R x C``.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a boolean ``numpy`` array of rank 3 with
+        axis order (height, row, column).  Values must be 0/1 (or bool).
+    height_labels, row_labels, column_labels:
+        Optional human-readable names per index.  Defaults to the paper's
+        ``h1..hl`` / ``r1..rn`` / ``c1..cm`` convention.
+    """
+
+    __slots__ = (
+        "_data",
+        "_height_labels",
+        "_row_labels",
+        "_column_labels",
+        "_ones_masks",
+        "_zeros_masks",
+    )
+
+    def __init__(
+        self,
+        data: Sequence | np.ndarray,
+        *,
+        height_labels: Sequence[str] | None = None,
+        row_labels: Sequence[str] | None = None,
+        column_labels: Sequence[str] | None = None,
+    ) -> None:
+        array = np.asarray(data)
+        if array.ndim != 3:
+            raise ValueError(f"expected a rank-3 tensor, got rank {array.ndim}")
+        if array.dtype != np.bool_:
+            unique = np.unique(array)
+            if not np.isin(unique, (0, 1)).all():
+                raise ValueError(
+                    "dataset cells must be boolean or 0/1, found values "
+                    f"{unique[:10].tolist()}"
+                )
+            array = array.astype(bool)
+        self._data = array
+        self._data.setflags(write=False)
+        l, n, m = array.shape
+        self._height_labels = self._check_labels("height", height_labels, l)
+        self._row_labels = self._check_labels("row", row_labels, n)
+        self._column_labels = self._check_labels("column", column_labels, m)
+        self._ones_masks: list[list[int]] | None = None
+        self._zeros_masks: list[list[int]] | None = None
+
+    @staticmethod
+    def _check_labels(
+        axis: str, labels: Sequence[str] | None, expected: int
+    ) -> tuple[str, ...]:
+        if labels is None:
+            return _default_labels(axis, expected)
+        labels = tuple(str(label) for label in labels)
+        if len(labels) != expected:
+            raise ValueError(
+                f"{axis} labels have length {len(labels)}, expected {expected}"
+            )
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"{axis} labels must be unique")
+        return labels
+
+    # ------------------------------------------------------------------
+    # Basic shape / access
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying read-only boolean array of shape ``(l, n, m)``."""
+        return self._data
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """``(n_heights, n_rows, n_columns)``."""
+        return self._data.shape  # type: ignore[return-value]
+
+    @property
+    def n_heights(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def n_rows(self) -> int:
+        return self._data.shape[1]
+
+    @property
+    def n_columns(self) -> int:
+        return self._data.shape[2]
+
+    @property
+    def height_labels(self) -> tuple[str, ...]:
+        return self._height_labels
+
+    @property
+    def row_labels(self) -> tuple[str, ...]:
+        return self._row_labels
+
+    @property
+    def column_labels(self) -> tuple[str, ...]:
+        return self._column_labels
+
+    def labels_for_axis(self, axis: int | str) -> tuple[str, ...]:
+        """Return the labels along ``axis`` (index or name)."""
+        index = self._axis_index(axis)
+        return (self._height_labels, self._row_labels, self._column_labels)[index]
+
+    @staticmethod
+    def _axis_index(axis: int | str) -> int:
+        if isinstance(axis, str):
+            try:
+                return AXIS_NAMES.index(axis)
+            except ValueError:
+                raise ValueError(
+                    f"unknown axis {axis!r}, expected one of {AXIS_NAMES}"
+                ) from None
+        if axis not in (0, 1, 2):
+            raise ValueError(f"axis index must be 0, 1 or 2, got {axis}")
+        return axis
+
+    def cell(self, k: int, i: int, j: int) -> bool:
+        """Return ``O[k, i, j]``."""
+        return bool(self._data[k, i, j])
+
+    @property
+    def density(self) -> float:
+        """Fraction of one-cells in the tensor (0.0 for an empty tensor)."""
+        if self._data.size == 0:
+            return 0.0
+        return float(self._data.mean())
+
+    def count_ones(self) -> int:
+        """Total number of one-cells."""
+        return int(self._data.sum())
+
+    def zeros_in_height(self, k: int) -> int:
+        """Number of zero-cells in height slice ``k`` (used for ordering)."""
+        sl = self._data[k]
+        return int(sl.size - sl.sum())
+
+    # ------------------------------------------------------------------
+    # Bitmask views (the miners' working representation)
+    # ------------------------------------------------------------------
+    def _build_masks(self) -> None:
+        l, n, m = self._data.shape
+        universe = full_mask(m)
+        ones: list[list[int]] = []
+        zeros: list[list[int]] = []
+        for k in range(l):
+            ones_k: list[int] = []
+            zeros_k: list[int] = []
+            slice_k = self._data[k]
+            for i in range(n):
+                # Pack the boolean row into an int with bit j == O[k,i,j].
+                packed = np.packbits(slice_k[i], bitorder="little").tobytes()
+                mask = int.from_bytes(packed, "little")
+                ones_k.append(mask)
+                zeros_k.append(universe & ~mask)
+            ones.append(ones_k)
+            zeros.append(zeros_k)
+        self._ones_masks = ones
+        self._zeros_masks = zeros
+
+    def ones_mask(self, k: int, i: int) -> int:
+        """Column bitmask of the one-cells in row ``i`` of height ``k``."""
+        if self._ones_masks is None:
+            self._build_masks()
+        return self._ones_masks[k][i]  # type: ignore[index]
+
+    def zeros_mask(self, k: int, i: int) -> int:
+        """Column bitmask of the zero-cells in row ``i`` of height ``k``."""
+        if self._zeros_masks is None:
+            self._build_masks()
+        return self._zeros_masks[k][i]  # type: ignore[index]
+
+    def ones_masks(self) -> list[list[int]]:
+        """All one-cell masks, indexed ``[k][i]``."""
+        if self._ones_masks is None:
+            self._build_masks()
+        return [list(per_height) for per_height in self._ones_masks]  # type: ignore[union-attr]
+
+    def slice_row_masks(self, k: int) -> list[int]:
+        """One-cell masks for every row of height slice ``k``."""
+        if self._ones_masks is None:
+            self._build_masks()
+        return list(self._ones_masks[k])  # type: ignore[index]
+
+    # ------------------------------------------------------------------
+    # Rearrangement
+    # ------------------------------------------------------------------
+    def transpose(self, order: tuple[int, int, int] | tuple[str, str, str]) -> "Dataset3D":
+        """Return a new dataset with axes permuted.
+
+        ``order`` gives, for each new axis position, the current axis that
+        should land there — e.g. ``("row", "height", "column")`` swaps the
+        height and row axes.
+        """
+        perm = tuple(self._axis_index(axis) for axis in order)
+        if sorted(perm) != [0, 1, 2]:
+            raise ValueError(f"order {order!r} is not a permutation of the 3 axes")
+        labels = [self.labels_for_axis(axis) for axis in perm]
+        return Dataset3D(
+            np.transpose(self._data, perm).copy(),
+            height_labels=labels[0],
+            row_labels=labels[1],
+            column_labels=labels[2],
+        )
+
+    def canonical_transpose(self) -> "Dataset3D":
+        """Permute axes so that ``|H| <= |R| <= |C|``.
+
+        This is CubeMiner's first preprocessing heuristic (Section 5.2):
+        making the column axis the largest dimension minimizes the number
+        of cutters (one per (height, row) pair with zeros).
+        """
+        sizes = self.shape
+        perm = tuple(int(axis) for axis in np.argsort(sizes, kind="stable"))
+        if perm == (0, 1, 2):
+            return self
+        return self.transpose(perm)  # type: ignore[arg-type]
+
+    def reorder_heights(self, order: Sequence[int]) -> "Dataset3D":
+        """Return a new dataset with height slices permuted by ``order``."""
+        if sorted(order) != list(range(self.n_heights)):
+            raise ValueError(
+                f"height order must be a permutation of 0..{self.n_heights - 1}"
+            )
+        labels = tuple(self._height_labels[k] for k in order)
+        return Dataset3D(
+            self._data[list(order)].copy(),
+            height_labels=labels,
+            row_labels=self._row_labels,
+            column_labels=self._column_labels,
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_cells(
+        cls,
+        shape: tuple[int, int, int],
+        one_cells: Iterable[tuple[int, int, int]],
+        **label_kwargs,
+    ) -> "Dataset3D":
+        """Build a dataset from its shape and the coordinates of one-cells."""
+        array = np.zeros(shape, dtype=bool)
+        for k, i, j in one_cells:
+            array[k, i, j] = True
+        return cls(array, **label_kwargs)
+
+    @classmethod
+    def from_slices(cls, slices: Sequence[Sequence[Sequence[int]]], **label_kwargs) -> "Dataset3D":
+        """Build a dataset from nested lists ``[height][row][column]``."""
+        return cls(np.asarray(slices), **label_kwargs)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Serialize to the library's dense text format.
+
+        Line 1 holds ``l n m``; then each height slice is ``n`` lines of
+        ``m`` space-separated 0/1 values, slices separated by blank lines.
+        """
+        out = io.StringIO()
+        l, n, m = self.shape
+        out.write(f"{l} {n} {m}\n")
+        for k in range(l):
+            for i in range(n):
+                out.write(" ".join("1" if v else "0" for v in self._data[k, i]))
+                out.write("\n")
+            out.write("\n")
+        return out.getvalue()
+
+    @classmethod
+    def from_text(cls, text: str, **label_kwargs) -> "Dataset3D":
+        """Parse the dense text format produced by :meth:`to_text`."""
+        tokens = text.split()
+        if len(tokens) < 3:
+            raise ValueError("dense text must start with 'l n m' header")
+        l, n, m = (int(tokens[i]) for i in range(3))
+        values = tokens[3:]
+        if len(values) != l * n * m:
+            raise ValueError(
+                f"dense text body holds {len(values)} cells, expected {l * n * m}"
+            )
+        array = np.array([int(v) for v in values], dtype=np.int8).reshape(l, n, m)
+        return cls(array, **label_kwargs)
+
+    def save_npz(self, path: str | Path) -> None:
+        """Save the tensor and labels to a compressed ``.npz`` file."""
+        np.savez_compressed(
+            Path(path),
+            data=self._data,
+            height_labels=np.array(self._height_labels),
+            row_labels=np.array(self._row_labels),
+            column_labels=np.array(self._column_labels),
+        )
+
+    @classmethod
+    def load_npz(cls, path: str | Path) -> "Dataset3D":
+        """Load a dataset previously written by :meth:`save_npz`."""
+        with np.load(Path(path), allow_pickle=False) as archive:
+            return cls(
+                archive["data"],
+                height_labels=[str(s) for s in archive["height_labels"]],
+                row_labels=[str(s) for s in archive["row_labels"]],
+                column_labels=[str(s) for s in archive["column_labels"]],
+            )
+
+    # ------------------------------------------------------------------
+    # Pickling (parallel workers receive datasets through this)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # The bitmask caches can dwarf the tensor itself; workers rebuild
+        # them lazily, so only the tensor and labels travel.
+        return {
+            "data": self._data,
+            "height_labels": self._height_labels,
+            "row_labels": self._row_labels,
+            "column_labels": self._column_labels,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        data = state["data"]
+        data.setflags(write=False)
+        self._data = data
+        self._height_labels = state["height_labels"]
+        self._row_labels = state["row_labels"]
+        self._column_labels = state["column_labels"]
+        self._ones_masks = None
+        self._zeros_masks = None
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dataset3D):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and bool(np.array_equal(self._data, other._data))
+            and self._height_labels == other._height_labels
+            and self._row_labels == other._row_labels
+            and self._column_labels == other._column_labels
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.shape, self._data.tobytes()))
+
+    def __repr__(self) -> str:
+        l, n, m = self.shape
+        return (
+            f"Dataset3D(shape={l}x{n}x{m}, density={self.density:.3f})"
+        )

@@ -1,0 +1,99 @@
+"""Mining-result container.
+
+Every miner in the library returns a :class:`MiningResult`: the set of
+frequent closed cubes plus provenance (algorithm name, thresholds,
+dataset shape, wall-clock time, algorithm-specific counters).  Results
+compare as *sets of cubes* regardless of discovery order, which is what
+the cross-algorithm equivalence tests rely on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from .constraints import Thresholds
+from .cube import Cube
+from .dataset import Dataset3D
+
+__all__ = ["MiningResult"]
+
+
+@dataclass
+class MiningResult:
+    """The outcome of one FCC mining run."""
+
+    cubes: list[Cube]
+    algorithm: str = "unknown"
+    thresholds: Thresholds | None = None
+    dataset_shape: tuple[int, int, int] | None = None
+    elapsed_seconds: float = 0.0
+    stats: dict[str, int | float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Canonicalize: drop duplicates, order deterministically.
+        unique = {cube: None for cube in self.cubes}
+        self.cubes = sorted(unique, key=Cube.sort_key)
+
+    # ------------------------------------------------------------------
+    # Collection protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self.cubes)
+
+    def __contains__(self, cube: object) -> bool:
+        return cube in set(self.cubes)
+
+    def cube_set(self) -> frozenset[Cube]:
+        """The result as an order-free set."""
+        return frozenset(self.cubes)
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+    def same_cubes(self, other: "MiningResult | Iterable[Cube]") -> bool:
+        """True when both runs found exactly the same cubes."""
+        other_set = (
+            other.cube_set() if isinstance(other, MiningResult) else frozenset(other)
+        )
+        return self.cube_set() == other_set
+
+    def difference(
+        self, other: "MiningResult | Iterable[Cube]"
+    ) -> tuple[frozenset[Cube], frozenset[Cube]]:
+        """Return ``(only_in_self, only_in_other)``."""
+        mine = self.cube_set()
+        theirs = (
+            other.cube_set() if isinstance(other, MiningResult) else frozenset(other)
+        )
+        return mine - theirs, theirs - mine
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def format_table(self, dataset: Dataset3D | None = None) -> str:
+        """Render the cubes one per line in the paper's notation."""
+        lines = [
+            f"# {self.algorithm}: {len(self.cubes)} FCC(s)"
+            + (f" [{self.thresholds}]" if self.thresholds else "")
+        ]
+        lines.extend(cube.format(dataset) for cube in self.cubes)
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One-line run summary for logs and benchmark harnesses."""
+        shape = (
+            "x".join(str(s) for s in self.dataset_shape)
+            if self.dataset_shape
+            else "?"
+        )
+        return (
+            f"{self.algorithm}: {len(self.cubes)} FCCs on {shape} "
+            f"in {self.elapsed_seconds:.3f}s"
+        )
+
+    def __repr__(self) -> str:
+        return f"MiningResult(algorithm={self.algorithm!r}, n_cubes={len(self.cubes)})"

@@ -1,0 +1,124 @@
+"""Result verification: trust-but-check for mining outputs.
+
+:func:`verify_result` checks the three *soundness* properties of every
+cube in a result against the dataset it claims to describe — complete
+(all ones), closed (maximal on all three axes), frequent (thresholds) —
+and reports each violation precisely.  On datasets small enough for the
+exhaustive oracle it can also check *completeness* (no FCC missed).
+
+Use cases: validating results loaded from JSON against the wrong or a
+modified dataset, guarding pipelines that post-process cubes, and
+debugging any new miner configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .closure import column_support, height_support, is_all_ones, row_support
+from .constraints import Thresholds
+from .cube import Cube
+from .dataset import Dataset3D
+from .result import MiningResult
+
+__all__ = ["Violation", "VerificationReport", "verify_result"]
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One failed property of one cube."""
+
+    cube: Cube
+    kind: str  # "incomplete" | "unclosed-<axis>" | "infrequent" | "missing"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.cube} ({self.detail})"
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a verification run."""
+
+    checked: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    completeness_checked: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        scope = "sound+complete" if self.completeness_checked else "soundness"
+        return f"verify[{scope}]: {self.checked} cube(s) checked — {status}"
+
+
+def verify_result(
+    dataset: Dataset3D,
+    result: MiningResult,
+    thresholds: Thresholds | None = None,
+    *,
+    check_completeness: bool = False,
+) -> VerificationReport:
+    """Verify every cube of ``result`` against ``dataset``.
+
+    Parameters
+    ----------
+    thresholds:
+        Defaults to ``result.thresholds``; required (here or there) for
+        the frequency check and for completeness.
+    check_completeness:
+        Also run the exhaustive oracle and flag FCCs the result misses.
+        Subject to the oracle's size guard — small datasets only.
+    """
+    if thresholds is None:
+        thresholds = result.thresholds
+    report = VerificationReport()
+    for cube in result:
+        report.checked += 1
+        if cube.is_empty():
+            report.violations.append(
+                Violation(cube, "incomplete", "cube has an empty axis")
+            )
+            continue
+        if not is_all_ones(dataset, cube):
+            report.violations.append(
+                Violation(cube, "incomplete", "covers at least one zero cell")
+            )
+            continue
+        closures = (
+            ("height", cube.heights, height_support(dataset, cube.rows, cube.columns)),
+            ("row", cube.rows, row_support(dataset, cube.heights, cube.columns)),
+            ("column", cube.columns, column_support(dataset, cube.heights, cube.rows)),
+        )
+        for axis_name, claimed, actual in closures:
+            if claimed != actual:
+                report.violations.append(
+                    Violation(
+                        cube,
+                        f"unclosed-{axis_name}",
+                        f"support set differs by mask {claimed ^ actual:#x}",
+                    )
+                )
+        if thresholds is not None and not thresholds.satisfied_by(cube):
+            report.violations.append(
+                Violation(
+                    cube,
+                    "infrequent",
+                    f"supports {cube.h_support}:{cube.r_support}:{cube.c_support} "
+                    f"below {thresholds}",
+                )
+            )
+    if check_completeness:
+        if thresholds is None:
+            raise ValueError("completeness check requires thresholds")
+        from .reference import reference_mine
+
+        truth = reference_mine(dataset, thresholds)
+        for cube in truth.cube_set() - result.cube_set():
+            report.violations.append(
+                Violation(cube, "missing", "FCC absent from the result")
+            )
+        report.completeness_checked = True
+    return report

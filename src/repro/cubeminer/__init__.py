@@ -1,0 +1,23 @@
+"""CubeMiner: direct 3D mining of frequent closed cubes (Section 5)."""
+
+from .algorithm import CubeMiner, CubeMinerStats, cubeminer_mine
+from .checks import height_set_closed, row_set_closed
+from .cutter import Cutter, HeightOrder, build_cutters, height_permutation
+from .trace import Branch, PruneReason, TraceNode, render_tree, trace_tree
+
+__all__ = [
+    "CubeMiner",
+    "CubeMinerStats",
+    "cubeminer_mine",
+    "height_set_closed",
+    "row_set_closed",
+    "Cutter",
+    "HeightOrder",
+    "build_cutters",
+    "height_permutation",
+    "Branch",
+    "PruneReason",
+    "TraceNode",
+    "render_tree",
+    "trace_tree",
+]

@@ -1,0 +1,45 @@
+"""Dataset generators, examples and loaders.
+
+* :mod:`repro.datasets.examples` — the paper's running example (Table 1).
+* :mod:`repro.datasets.synthetic` — IBM-generator substitute: density-
+  controlled Bernoulli tensors and planted all-ones blocks.
+* :mod:`repro.datasets.microarray` — yeast-microarray substitutes with
+  the paper's row-mean binarization (Section 7.1).
+"""
+
+from .discretization import (
+    binarize_by_quantile,
+    binarize_by_zscore,
+    binarize_global_threshold,
+    binarize_top_k,
+)
+from .examples import PAPER_EXAMPLE_FCCS, paper_example, tiny_example
+from .perturb import add_ones, drop_ones, flip_cells, shuffle_heights
+from .microarray import (
+    binarize_by_row_mean,
+    cdc15_like,
+    elutriation_like,
+    synthetic_expression,
+)
+from .synthetic import PlantedCubes, planted_tensor, random_tensor
+
+__all__ = [
+    "PAPER_EXAMPLE_FCCS",
+    "paper_example",
+    "tiny_example",
+    "binarize_by_row_mean",
+    "binarize_by_quantile",
+    "binarize_by_zscore",
+    "binarize_global_threshold",
+    "binarize_top_k",
+    "cdc15_like",
+    "elutriation_like",
+    "synthetic_expression",
+    "add_ones",
+    "drop_ones",
+    "flip_cells",
+    "shuffle_heights",
+    "PlantedCubes",
+    "planted_tensor",
+    "random_tensor",
+]

@@ -1,0 +1,93 @@
+"""Binarization schemes for real-valued 3D tensors.
+
+The paper binarizes microarray data with its row-mean rule
+(:func:`repro.datasets.microarray.binarize_by_row_mean`).  The
+expression-analysis literature uses several alternatives, collected
+here so real-valued data can be explored under different notions of
+"high expression":
+
+* :func:`binarize_by_quantile` — 1 for the top ``q`` fraction of each
+  (height, row) gene row; fixes the per-row one-count regardless of
+  distribution shape.
+* :func:`binarize_by_zscore`  — 1 where the cell sits ``z`` standard
+  deviations above its row mean; stricter than the paper's rule.
+* :func:`binarize_top_k`      — exactly the ``k`` largest cells of
+  each row become 1; the rank-based variant.
+* :func:`binarize_global_threshold` — one absolute cutoff for the
+  whole tensor; for data already on a common scale.
+
+All return :class:`~repro.core.dataset.Dataset3D` and accept optional
+axis labels via keyword arguments passed through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dataset import Dataset3D
+
+__all__ = [
+    "binarize_by_quantile",
+    "binarize_by_zscore",
+    "binarize_top_k",
+    "binarize_global_threshold",
+]
+
+
+def _check_rank3(values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 3:
+        raise ValueError(f"expected a rank-3 tensor, got rank {values.ndim}")
+    return values
+
+
+def binarize_by_quantile(values, q: float = 0.7, **label_kwargs) -> Dataset3D:
+    """Cell is 1 when it exceeds its row's ``q``-quantile.
+
+    ``q = 0.7`` marks roughly the top 30% of each (height, row) gene
+    row as highly expressed.
+    """
+    values = _check_rank3(values)
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"q must be in (0, 1), got {q}")
+    thresholds = np.quantile(values, q, axis=2, keepdims=True)
+    return Dataset3D(values > thresholds, **label_kwargs)
+
+
+def binarize_by_zscore(values, z: float = 1.0, **label_kwargs) -> Dataset3D:
+    """Cell is 1 when it sits ``z`` standard deviations above its row mean.
+
+    ``z = 0`` reduces to the paper's row-mean rule.  Constant rows have
+    zero deviation and binarize to all-zero (nothing is *above* the
+    mean there).
+    """
+    values = _check_rank3(values)
+    if z < 0:
+        raise ValueError(f"z must be >= 0, got {z}")
+    means = values.mean(axis=2, keepdims=True)
+    stds = values.std(axis=2, keepdims=True)
+    return Dataset3D(values > means + z * stds, **label_kwargs)
+
+
+def binarize_top_k(values, k: int, **label_kwargs) -> Dataset3D:
+    """Exactly the ``k`` largest cells of each row become 1.
+
+    Ties at the cutoff are broken by position (numpy argpartition
+    order), keeping the per-row count exact.
+    """
+    values = _check_rank3(values)
+    l, n, m = values.shape
+    if not 1 <= k <= m:
+        raise ValueError(f"k must be in [1, {m}], got {k}")
+    result = np.zeros(values.shape, dtype=bool)
+    top = np.argpartition(values, m - k, axis=2)[:, :, m - k:]
+    grid_l, grid_n = np.meshgrid(range(l), range(n), indexing="ij")
+    for offset in range(k):
+        result[grid_l, grid_n, top[:, :, offset]] = True
+    return Dataset3D(result, **label_kwargs)
+
+
+def binarize_global_threshold(values, threshold: float, **label_kwargs) -> Dataset3D:
+    """Cell is 1 when it exceeds one tensor-wide absolute threshold."""
+    values = _check_rank3(values)
+    return Dataset3D(values > threshold, **label_kwargs)

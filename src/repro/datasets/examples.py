@@ -1,0 +1,57 @@
+"""Hard-coded example datasets, including the paper's running example.
+
+:func:`paper_example` returns Table 1 of the paper exactly: a 3x4x5
+boolean context over heights ``h1..h3``, rows ``r1..r4`` and columns
+``c1..c5``.  With ``minH = minR = minC = 2`` it yields the five FCCs
+listed in Table 2 / Figure 1, which the test suite pins byte-exactly.
+"""
+
+from __future__ import annotations
+
+from ..core.dataset import Dataset3D
+
+__all__ = ["paper_example", "PAPER_EXAMPLE_FCCS", "tiny_example"]
+
+_PAPER_SLICES = [
+    # H = h1
+    [
+        [1, 1, 1, 0, 1],
+        [1, 1, 1, 0, 0],
+        [1, 1, 1, 1, 1],
+        [0, 0, 1, 0, 1],
+    ],
+    # H = h2
+    [
+        [1, 1, 1, 1, 1],
+        [0, 1, 1, 1, 0],
+        [1, 1, 1, 1, 0],
+        [1, 1, 1, 0, 1],
+    ],
+    # H = h3
+    [
+        [1, 1, 1, 0, 0],
+        [1, 1, 1, 0, 0],
+        [1, 1, 1, 1, 0],
+        [1, 1, 0, 1, 1],
+    ],
+]
+
+#: The five FCCs of Table 2 (4th column) for minH = minR = minC = 2,
+#: written as (heights, rows, columns) label strings.
+PAPER_EXAMPLE_FCCS = (
+    ("h2 h3", "r1 r3 r4", "c1 c2"),
+    ("h1 h3", "r1 r2 r3", "c1 c2 c3"),
+    ("h1 h2", "r1 r4", "c3 c5"),
+    ("h1 h2 h3", "r1 r3", "c1 c2 c3"),
+    ("h1 h2 h3", "r1 r2 r3", "c2 c3"),
+)
+
+
+def paper_example() -> Dataset3D:
+    """Table 1 of the paper: the 3x4x5 running-example context."""
+    return Dataset3D(_PAPER_SLICES)
+
+
+def tiny_example() -> Dataset3D:
+    """A 2x2x2 all-ones cube — the smallest interesting sanity check."""
+    return Dataset3D([[[1, 1], [1, 1]], [[1, 1], [1, 1]]])

@@ -1,0 +1,98 @@
+"""Noise injection for robustness studies and failure testing.
+
+FCC mining is exact: one flipped cell can split a closed cube in two.
+These helpers create controlled corruption so tests and experiments can
+measure that sensitivity:
+
+* :func:`flip_cells` — flip a fraction of cells chosen uniformly
+  (symmetric noise);
+* :func:`drop_ones` / :func:`add_ones` — one-sided noise (dropout /
+  false positives), the asymmetric kinds microarray data actually has;
+* :func:`shuffle_heights` — permute slices (structure-preserving; all
+  mining results must be isomorphic under it, which tests exploit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dataset import Dataset3D
+
+__all__ = ["flip_cells", "drop_ones", "add_ones", "shuffle_heights"]
+
+
+def _rng(seed) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+
+def _check_fraction(fraction: float) -> None:
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+
+
+def flip_cells(
+    dataset: Dataset3D, fraction: float, *, seed=None
+) -> Dataset3D:
+    """Flip a uniformly random ``fraction`` of all cells."""
+    _check_fraction(fraction)
+    rng = _rng(seed)
+    data = dataset.data.copy()
+    n_flips = round(fraction * data.size)
+    if n_flips:
+        flat = rng.choice(data.size, size=n_flips, replace=False)
+        coords = np.unravel_index(flat, data.shape)
+        data[coords] ^= True
+    return Dataset3D(
+        data,
+        height_labels=dataset.height_labels,
+        row_labels=dataset.row_labels,
+        column_labels=dataset.column_labels,
+    )
+
+
+def drop_ones(dataset: Dataset3D, fraction: float, *, seed=None) -> Dataset3D:
+    """Turn a random ``fraction`` of the one-cells into zeros (dropout)."""
+    _check_fraction(fraction)
+    rng = _rng(seed)
+    data = dataset.data.copy()
+    ones = np.argwhere(data)
+    n_drops = round(fraction * len(ones))
+    if n_drops:
+        picked = ones[rng.choice(len(ones), size=n_drops, replace=False)]
+        data[tuple(picked.T)] = False
+    return Dataset3D(
+        data,
+        height_labels=dataset.height_labels,
+        row_labels=dataset.row_labels,
+        column_labels=dataset.column_labels,
+    )
+
+
+def add_ones(dataset: Dataset3D, fraction: float, *, seed=None) -> Dataset3D:
+    """Turn a random ``fraction`` of the zero-cells into ones."""
+    _check_fraction(fraction)
+    rng = _rng(seed)
+    data = dataset.data.copy()
+    zeros = np.argwhere(~data)
+    n_adds = round(fraction * len(zeros))
+    if n_adds:
+        picked = zeros[rng.choice(len(zeros), size=n_adds, replace=False)]
+        data[tuple(picked.T)] = True
+    return Dataset3D(
+        data,
+        height_labels=dataset.height_labels,
+        row_labels=dataset.row_labels,
+        column_labels=dataset.column_labels,
+    )
+
+
+def shuffle_heights(dataset: Dataset3D, *, seed=None) -> Dataset3D:
+    """Permute the height slices randomly (labels travel with slices).
+
+    Mining is invariant under this up to index renaming — the mined
+    cube *count* and per-cube supports must not change, a property the
+    metamorphic tests rely on.
+    """
+    rng = _rng(seed)
+    order = list(rng.permutation(dataset.n_heights))
+    return dataset.reorder_heights(order)

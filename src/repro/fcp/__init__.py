@@ -1,0 +1,56 @@
+"""2D frequent-closed-pattern substrate.
+
+Five interchangeable miners (all return patterns closed on both axes):
+
+* :class:`DMiner` — the paper's RSM substrate; cutter-based splitting.
+* :class:`CloseByOne` — canonical feature enumeration.
+* :class:`Charm` — CHARM-style vertical IT-tree search.
+* :class:`Carpenter` — CARPENTER-style row enumeration.
+* :class:`Closet` — CLOSET-style FP-tree pattern growth.
+
+``get_fcp_miner(name)`` resolves a miner by its registry name.
+"""
+
+from .base import FCPMiner, Pattern2D, check_pattern
+from .carpenter import Carpenter, carpenter_mine
+from .cbo import CloseByOne, cbo_mine
+from .charm import Charm, charm_mine
+from .closet import Closet, closet_mine
+from .dminer import DMiner, dminer_mine
+from .matrix import BinaryMatrix
+from .oracle import oracle_mine_2d
+
+__all__ = [
+    "FCPMiner",
+    "Pattern2D",
+    "check_pattern",
+    "BinaryMatrix",
+    "DMiner",
+    "dminer_mine",
+    "CloseByOne",
+    "cbo_mine",
+    "Charm",
+    "charm_mine",
+    "Closet",
+    "closet_mine",
+    "Carpenter",
+    "carpenter_mine",
+    "oracle_mine_2d",
+    "FCP_MINERS",
+    "get_fcp_miner",
+]
+
+#: Registry of 2D miners by name.
+FCP_MINERS = {
+    miner.name: miner for miner in (DMiner, CloseByOne, Charm, Carpenter, Closet)
+}
+
+
+def get_fcp_miner(name: str) -> FCPMiner:
+    """Instantiate a 2D FCP miner from its registry name."""
+    try:
+        return FCP_MINERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown 2D miner {name!r}; choose from {sorted(FCP_MINERS)}"
+        ) from None

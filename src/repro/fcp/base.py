@@ -1,0 +1,87 @@
+"""Shared types for the 2D frequent-closed-pattern miners.
+
+A 2D FCP over a binary matrix is a pair ``(rows, columns)`` such that
+the sub-matrix is all ones and maximal on both axes — exactly the 2D
+specialization of the paper's closed cube.  Every 2D miner in this
+package returns :class:`Pattern2D` objects closed in *both* dimensions
+(the supporting row set of a closed itemset is itself maximal, so any
+closed-itemset algorithm qualifies), which is what RSM's post-pruning
+phase requires.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..core.bitset import bit_count, indices
+from .matrix import BinaryMatrix
+
+__all__ = ["Pattern2D", "FCPMiner", "check_pattern"]
+
+
+@dataclass(frozen=True, slots=True)
+class Pattern2D:
+    """A frequent closed 2D pattern: row and column bitmasks."""
+
+    rows: int
+    columns: int
+
+    @property
+    def row_support(self) -> int:
+        return bit_count(self.rows)
+
+    @property
+    def column_support(self) -> int:
+        return bit_count(self.columns)
+
+    def row_indices(self) -> tuple[int, ...]:
+        return indices(self.rows)
+
+    def column_indices(self) -> tuple[int, ...]:
+        return indices(self.columns)
+
+    def sort_key(self) -> tuple[int, int]:
+        return (self.rows, self.columns)
+
+    def format(self) -> str:
+        """Paper notation, e.g. ``r1r3 : c1c2c3, 2 : 3``."""
+        rs = "".join(f"r{i + 1}" for i in self.row_indices())
+        cs = "".join(f"c{j + 1}" for j in self.column_indices())
+        return f"{rs} : {cs}, {self.row_support} : {self.column_support}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+class FCPMiner(abc.ABC):
+    """Interface of every 2D frequent-closed-pattern miner."""
+
+    #: Short name used in results, the registry and benchmarks.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def mine(
+        self, matrix: BinaryMatrix, min_rows: int = 1, min_columns: int = 1
+    ) -> list[Pattern2D]:
+        """Return all FCPs with at least ``min_rows`` rows and
+        ``min_columns`` columns, closed on both axes, in any order."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def check_pattern(matrix: BinaryMatrix, pattern: Pattern2D) -> bool:
+    """True when ``pattern`` is an all-ones, bi-maximal sub-matrix.
+
+    Used in tests and by defensive callers; not on any hot path.
+    """
+    if pattern.rows == 0 or pattern.columns == 0:
+        return False
+    for i in pattern.row_indices():
+        if pattern.columns & ~matrix.row_mask(i):
+            return False
+    return (
+        matrix.support_rows(pattern.columns) == pattern.rows
+        and matrix.support_columns(pattern.rows) == pattern.columns
+    )

@@ -1,0 +1,132 @@
+"""CHARM-style vertical closed-itemset mining.
+
+Zaki & Hsiao's CHARM (SDM 2002) explores an itemset-tidset (IT) search
+tree.  Sibling pairs ``(Xi, t(Xi))`` and ``(Xj, t(Xj))`` are combined
+and one of four tidset relations fires:
+
+1. ``t(Xi) == t(Xj)`` — Xj is absorbed into Xi (same closure);
+2. ``t(Xi) ⊂ t(Xj)`` — Xi grows by Xj's items but Xj survives;
+3. ``t(Xi) ⊃ t(Xj)`` — Xj is absorbed and the union starts a child class;
+4. incomparable — the union starts a child class.
+
+Candidate closed sets are checked against a tidset-keyed map for
+subsumption before being reported.  Items are processed in increasing
+support order, the heuristic CHARM uses to maximize absorption.
+
+The implementation works on row bitmasks (tidsets) and column bitmasks
+(itemsets); ``min_rows`` is the classic minimum support and
+``min_columns`` a minimum pattern length filter applied at emission.
+"""
+
+from __future__ import annotations
+
+from ..core.bitset import bit_count, full_mask, is_subset
+from .base import FCPMiner, Pattern2D
+from .matrix import BinaryMatrix
+
+__all__ = ["Charm", "charm_mine"]
+
+
+def charm_mine(
+    matrix: BinaryMatrix, min_rows: int = 1, min_columns: int = 1
+) -> list[Pattern2D]:
+    """Mine all 2D FCPs with the CHARM IT-tree exploration."""
+    if min_rows < 1 or min_columns < 1:
+        raise ValueError("minimum supports must be >= 1")
+    n, m = matrix.shape
+    if n < min_rows or m < min_columns:
+        return []
+
+    # closed candidates keyed by tidset: tidset -> largest itemset seen.
+    closed_by_tidset: dict[int, int] = {}
+
+    def record(itemset: int, tidset: int) -> None:
+        current = closed_by_tidset.get(tidset, 0)
+        # Two itemsets with the same tidset share one closure; keep the union.
+        closed_by_tidset[tidset] = current | itemset
+
+    # The closure of the empty itemset: columns present in every row.
+    # CHARM's IT-tree only reaches itemsets containing >= 1 item, so the
+    # top concept is seeded explicitly when it is frequent.
+    all_rows = full_mask(n)
+    top_intent = matrix.support_columns(all_rows)
+    if top_intent and bit_count(all_rows) >= min_rows:
+        record(top_intent, all_rows)
+
+    frequent_items = [
+        (1 << j, matrix.column_rows(j))
+        for j in range(m)
+        if bit_count(matrix.column_rows(j)) >= min_rows
+    ]
+    # Increasing support order maximizes property-1/2 absorptions.
+    frequent_items.sort(key=lambda pair: bit_count(pair[1]))
+
+    def explore(nodes: list[tuple[int, int]]) -> None:
+        """Process one class of sibling IT-pairs (itemset, tidset)."""
+        index = 0
+        while index < len(nodes):
+            itemset, tidset = nodes[index]
+            children: list[tuple[int, int]] = []
+            sibling = index + 1
+            while sibling < len(nodes):
+                other_itemset, other_tidset = nodes[sibling]
+                union_itemset = itemset | other_itemset
+                union_tidset = tidset & other_tidset
+                if tidset == other_tidset:
+                    # Property 1: same closure — absorb the sibling.
+                    nodes.pop(sibling)
+                    itemset = union_itemset
+                    children = [
+                        (child_items | other_itemset, child_tids)
+                        for child_items, child_tids in children
+                    ]
+                elif is_subset(tidset, other_tidset):
+                    # Property 2: Xi's closure includes Xj's items.
+                    itemset = union_itemset
+                    children = [
+                        (child_items | other_itemset, child_tids)
+                        for child_items, child_tids in children
+                    ]
+                    sibling += 1
+                else:
+                    if bit_count(union_tidset) >= min_rows:
+                        if is_subset(other_tidset, tidset):
+                            # Property 3: sibling absorbed into the child.
+                            nodes.pop(sibling)
+                        else:
+                            # Property 4: plain child, sibling survives.
+                            sibling += 1
+                        children.append((union_itemset, union_tidset))
+                    else:
+                        sibling += 1
+            if children:
+                explore(children)
+            if not _subsumed(itemset, tidset):
+                record(itemset, tidset)
+            index += 1
+
+    def _subsumed(itemset: int, tidset: int) -> bool:
+        known = closed_by_tidset.get(tidset)
+        return known is not None and is_subset(itemset, known)
+
+    explore(list(frequent_items))
+
+    results = []
+    for tidset, itemset in closed_by_tidset.items():
+        # The map may hold non-maximal itemsets superseded later under the
+        # same tidset; recompute the closure to be exact, then dedupe.
+        closure = matrix.support_columns(tidset)
+        if bit_count(closure) >= min_columns and matrix.support_rows(closure) == tidset:
+            results.append(Pattern2D(tidset, closure))
+    return sorted(set(results), key=Pattern2D.sort_key)
+
+
+class Charm(FCPMiner):
+    """Class facade over :func:`charm_mine`."""
+
+    name = "charm"
+
+    def mine(
+        self, matrix: BinaryMatrix, min_rows: int = 1, min_columns: int = 1
+    ) -> list[Pattern2D]:
+        return charm_mine(matrix, min_rows, min_columns)

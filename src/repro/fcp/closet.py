@@ -1,0 +1,186 @@
+"""CLOSET-style FP-tree closed-itemset mining.
+
+Pei, Han and Mao's CLOSET (DMKD 2000) mines closed itemsets by
+depth-first *pattern growth* over an FP-tree: a prefix tree of the
+transactions with items ordered by descending frequency, plus header
+links threading equal items together.  For each frequent item (least
+frequent first) the conditional transaction base is projected, the
+items common to all of it are absorbed into the prefix's closure, and
+the process recurses.
+
+This implementation keeps CLOSET's architecture — FP-tree construction,
+header tables, conditional projection, common-item absorption — and
+uses a tidset-keyed closure check for the final subsumption test (the
+role of CLOSET's result-tree).  As everywhere in this package, rows are
+transactions and columns are items; ``min_rows`` is the support
+threshold and ``min_columns`` a pattern-length filter at emission.
+
+It completes the substrate family: D-Miner (dense/cutter), Close-by-One
+(canonical feature enumeration), CHARM (vertical tidsets), CARPENTER
+(row enumeration) and CLOSET (pattern growth) — the five classic
+strategies the paper's related-work section surveys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.bitset import bit_count, full_mask, iter_bits
+from .base import FCPMiner, Pattern2D
+from .matrix import BinaryMatrix
+
+__all__ = ["Closet", "closet_mine"]
+
+
+@dataclass
+class _Node:
+    """One FP-tree node: an item, a count, and the rows that passed."""
+
+    item: int
+    parent: "_Node | None" = None
+    count: int = 0
+    rows: int = 0
+    children: dict[int, "_Node"] = field(default_factory=dict)
+
+
+class _FPTree:
+    """An FP-tree over (row-mask annotated) transactions."""
+
+    def __init__(self) -> None:
+        self.root = _Node(item=-1)
+        #: item -> list of nodes holding that item (the header table).
+        self.header: dict[int, list[_Node]] = {}
+
+    def insert(self, items: list[int], rows: int, count: int) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _Node(item=item, parent=node)
+                node.children[item] = child
+                self.header.setdefault(item, []).append(child)
+            child.count += count
+            child.rows |= rows
+            node = child
+
+    def conditional_base(self, item: int) -> list[tuple[list[int], int, int]]:
+        """Prefix paths of ``item``: (items, rows, count) per path."""
+        base = []
+        for node in self.header.get(item, ()):
+            path: list[int] = []
+            walker = node.parent
+            while walker is not None and walker.item != -1:
+                path.append(walker.item)
+                walker = walker.parent
+            path.reverse()
+            base.append((path, node.rows, node.count))
+        return base
+
+
+def closet_mine(
+    matrix: BinaryMatrix, min_rows: int = 1, min_columns: int = 1
+) -> list[Pattern2D]:
+    """Mine all 2D FCPs by FP-tree pattern growth (CLOSET-style)."""
+    if min_rows < 1 or min_columns < 1:
+        raise ValueError("minimum supports must be >= 1")
+    n, m = matrix.shape
+    if n < min_rows or m < min_columns:
+        return []
+
+    closed_by_tidset: dict[int, int] = {}
+
+    def record(itemset: int, tidset: int) -> None:
+        closed_by_tidset[tidset] = closed_by_tidset.get(tidset, 0) | itemset
+
+    # The closure of the empty prefix: items in every transaction.
+    all_rows = full_mask(n)
+    top = matrix.support_columns(all_rows)
+    if top:
+        record(top, all_rows)
+
+    def grow(
+        transactions: list[tuple[list[int], int, int]],
+        prefix_items: int,
+        prefix_rows: int,
+    ) -> None:
+        """Pattern-grow from one conditional transaction base."""
+        # Count item supports in this base.
+        support: dict[int, int] = {}
+        rows_of: dict[int, int] = {}
+        for items, rows, count in transactions:
+            for item in items:
+                support[item] = support.get(item, 0) + count
+                rows_of[item] = rows_of.get(item, 0) | rows
+        frequent = [i for i, s in support.items() if s >= min_rows]
+        # CLOSET optimization: items appearing in every transaction of
+        # the base belong to the prefix's closure — absorb them at once.
+        # The prefix itself is recorded even when nothing frequent
+        # remains: it is a (generator of a) closed set in its own right.
+        total = sum(count for _items, _rows, count in transactions)
+        common = [i for i in frequent if support[i] == total]
+        common_mask = 0
+        for item in common:
+            common_mask |= 1 << item
+        merged_prefix = prefix_items | common_mask
+        if common_mask:
+            # Rows supporting prefix+common are exactly the base's rows
+            # (each common item occurs in every base transaction).  At
+            # the root this differs from prefix_rows: all-zero rows
+            # support the empty prefix but no item.
+            base_rows = 0
+            for _items, rows, _count in transactions:
+                base_rows |= rows
+            record(merged_prefix, base_rows)
+        else:
+            record(merged_prefix, prefix_rows)
+        if not frequent:
+            return
+
+        remaining = [i for i in frequent if support[i] != total]
+        # Build the conditional FP-tree over the remaining items,
+        # descending-frequency order inside transactions.
+        order = sorted(remaining, key=lambda i: (-support[i], i))
+        rank = {item: pos for pos, item in enumerate(order)}
+        tree = _FPTree()
+        for items, rows, count in transactions:
+            kept = sorted(
+                (i for i in items if i in rank), key=rank.__getitem__
+            )
+            if kept:
+                tree.insert(kept, rows, count)
+        # Grow each remaining item, least frequent first (CLOSET's order).
+        for item in reversed(order):
+            item_rows = rows_of[item] & prefix_rows
+            if bit_count(item_rows) < min_rows:
+                continue
+            base = tree.conditional_base(item)
+            grow(base, merged_prefix | (1 << item), item_rows)
+
+    initial = [
+        (list(iter_bits(matrix.row_mask(i))), 1 << i, 1)
+        for i in range(n)
+        if matrix.row_mask(i)
+    ]
+    grow(initial, 0, all_rows)
+
+    results = []
+    for tidset, _itemset in closed_by_tidset.items():
+        closure = matrix.support_columns(tidset)
+        if (
+            bit_count(closure) >= min_columns
+            and bit_count(tidset) >= min_rows
+            and matrix.support_rows(closure) == tidset
+        ):
+            results.append(Pattern2D(tidset, closure))
+    return sorted(set(results), key=Pattern2D.sort_key)
+
+
+class Closet(FCPMiner):
+    """Class facade over :func:`closet_mine`."""
+
+    name = "closet"
+
+    def mine(
+        self, matrix: BinaryMatrix, min_rows: int = 1, min_columns: int = 1
+    ) -> list[Pattern2D]:
+        return closet_mine(matrix, min_rows, min_columns)

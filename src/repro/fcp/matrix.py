@@ -1,0 +1,157 @@
+"""2D binary matrices for the frequent-closed-pattern substrate.
+
+RSM's phase 2 runs a 2D FCP miner on each *representative slice* — an
+``n x m`` boolean matrix obtained by ANDing height slices together.  To
+avoid round-tripping through numpy in that hot path, a
+:class:`BinaryMatrix` stores one column-bitmask per row and can be built
+directly from masks (:meth:`BinaryMatrix.from_row_masks`) or from any
+array-like (:meth:`BinaryMatrix.from_array`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.bitset import bit_count, full_mask, indices
+
+__all__ = ["BinaryMatrix"]
+
+
+class BinaryMatrix:
+    """An ``n x m`` boolean matrix stored as per-row column bitmasks."""
+
+    __slots__ = ("_row_masks", "_n_columns", "_column_rows")
+
+    def __init__(self, row_masks: Sequence[int], n_columns: int) -> None:
+        universe = full_mask(n_columns)
+        masks = list(row_masks)
+        for i, mask in enumerate(masks):
+            if mask < 0 or mask & ~universe:
+                raise ValueError(
+                    f"row {i} mask {mask:#x} has bits outside {n_columns} columns"
+                )
+        self._row_masks = masks
+        self._n_columns = n_columns
+        self._column_rows: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_row_masks(cls, row_masks: Sequence[int], n_columns: int) -> "BinaryMatrix":
+        """Build from per-row column bitmasks (no copy semantics promised)."""
+        return cls(row_masks, n_columns)
+
+    @classmethod
+    def from_array(cls, array) -> "BinaryMatrix":
+        """Build from a rank-2 array-like of 0/1 or bool values."""
+        data = np.asarray(array)
+        if data.ndim != 2:
+            raise ValueError(f"expected a rank-2 matrix, got rank {data.ndim}")
+        data = data.astype(bool)
+        n, m = data.shape
+        masks = []
+        for i in range(n):
+            packed = np.packbits(data[i], bitorder="little").tobytes()
+            masks.append(int.from_bytes(packed, "little"))
+        return cls(masks, m)
+
+    # ------------------------------------------------------------------
+    # Shape / access
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return len(self._row_masks)
+
+    @property
+    def n_columns(self) -> int:
+        return self._n_columns
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self._row_masks), self._n_columns)
+
+    def row_mask(self, i: int) -> int:
+        """Column bitmask of the one-cells in row ``i``."""
+        return self._row_masks[i]
+
+    def row_masks(self) -> list[int]:
+        """All row masks (a fresh list; the matrix stays immutable)."""
+        return list(self._row_masks)
+
+    def zeros_mask(self, i: int) -> int:
+        """Column bitmask of the zero-cells in row ``i``."""
+        return full_mask(self._n_columns) & ~self._row_masks[i]
+
+    def cell(self, i: int, j: int) -> bool:
+        return bool(self._row_masks[i] >> j & 1)
+
+    def column_rows(self, j: int) -> int:
+        """Row bitmask of the one-cells in column ``j`` (the tidset).
+
+        Computed lazily for all columns on first use — the vertical
+        miners (CHARM-style) work in this orientation.
+        """
+        if self._column_rows is None:
+            cols = [0] * self._n_columns
+            for i, mask in enumerate(self._row_masks):
+                row_bit = 1 << i
+                remaining = mask
+                while remaining:
+                    low = remaining & -remaining
+                    cols[low.bit_length() - 1] |= row_bit
+                    remaining ^= low
+            self._column_rows = cols
+        return self._column_rows[j]
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def density(self) -> float:
+        total = self.n_rows * self._n_columns
+        if total == 0:
+            return 0.0
+        return sum(bit_count(mask) for mask in self._row_masks) / total
+
+    def support_columns(self, rows: int) -> int:
+        """Columns that are 1 on every row of the ``rows`` bitmask."""
+        acc = full_mask(self._n_columns)
+        remaining = rows
+        while remaining and acc:
+            low = remaining & -remaining
+            acc &= self._row_masks[low.bit_length() - 1]
+            remaining ^= low
+        return acc
+
+    def support_rows(self, columns: int) -> int:
+        """Rows whose mask contains every column of ``columns``."""
+        result = 0
+        for i, mask in enumerate(self._row_masks):
+            if columns & ~mask == 0:
+                result |= 1 << i
+        return result
+
+    def to_array(self) -> np.ndarray:
+        """Expand back to a boolean numpy array."""
+        out = np.zeros(self.shape, dtype=bool)
+        for i, mask in enumerate(self._row_masks):
+            for j in indices(mask):
+                out[i, j] = True
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BinaryMatrix):
+            return NotImplemented
+        return (
+            self._n_columns == other._n_columns
+            and self._row_masks == other._row_masks
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n_columns, tuple(self._row_masks)))
+
+    def __repr__(self) -> str:
+        return f"BinaryMatrix(shape={self.shape}, density={self.density:.3f})"

@@ -1,0 +1,38 @@
+"""Brute-force 2D closed-pattern oracle for tests.
+
+Enumerates every row subset, closes it to a formal concept, and keeps
+the concepts meeting the thresholds.  Exponential in the row count —
+test inputs only.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..core.bitset import bit_count, mask_of
+from .base import Pattern2D
+from .matrix import BinaryMatrix
+
+__all__ = ["oracle_mine_2d"]
+
+_MAX_ROWS = 18
+
+
+def oracle_mine_2d(
+    matrix: BinaryMatrix, min_rows: int = 1, min_columns: int = 1
+) -> list[Pattern2D]:
+    """All 2D FCPs by exhaustive row-subset enumeration (ground truth)."""
+    n, _m = matrix.shape
+    if n > _MAX_ROWS:
+        raise ValueError(f"2D oracle limited to {_MAX_ROWS} rows, got {n}")
+    found: set[Pattern2D] = set()
+    for size in range(min_rows, n + 1):
+        for subset in combinations(range(n), size):
+            rows = mask_of(subset)
+            columns = matrix.support_columns(rows)
+            if bit_count(columns) < min_columns:
+                continue
+            if matrix.support_rows(columns) != rows:
+                continue
+            found.add(Pattern2D(rows, columns))
+    return sorted(found, key=Pattern2D.sort_key)

@@ -1,0 +1,214 @@
+"""Interchange formats for datasets and mining results.
+
+Datasets travel in three forms: the dense text of
+:meth:`Dataset3D.to_text`, compressed NPZ
+(:meth:`Dataset3D.save_npz`), and — here — a *sparse triples* text
+format listing only the one-cells, the natural shape for transaction
+logs and adjacency data::
+
+    # any comment lines
+    3 4 5          <- l n m header
+    0 0 0          <- one-cell coordinates: height row column
+    0 0 1
+    ...
+
+Results serialize to JSON (lossless, with labels and provenance) and
+CSV (one cube per line, for spreadsheets/pandas).
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+import json
+from pathlib import Path
+
+from .core.constraints import Thresholds
+from .core.cube import Cube
+from .core.dataset import Dataset3D
+from .core.result import MiningResult
+
+__all__ = [
+    "save_triples",
+    "load_triples",
+    "load_event_csv",
+    "result_to_json",
+    "result_from_json",
+    "result_to_csv",
+]
+
+
+# ----------------------------------------------------------------------
+# Sparse triples
+# ----------------------------------------------------------------------
+def save_triples(dataset: Dataset3D, path: str | Path) -> None:
+    """Write the dataset's one-cells as sparse triples text."""
+    import numpy as np
+
+    l, n, m = dataset.shape
+    with open(Path(path), "w") as handle:
+        handle.write(f"{l} {n} {m}\n")
+        for k, i, j in np.argwhere(dataset.data):
+            handle.write(f"{k} {i} {j}\n")
+
+
+def load_triples(path: str | Path, **label_kwargs) -> Dataset3D:
+    """Read a sparse-triples file back into a dataset.
+
+    Blank lines and ``#`` comments are skipped; out-of-range
+    coordinates raise with the offending line number.
+    """
+    header: tuple[int, int, int] | None = None
+    cells: list[tuple[int, int, int]] = []
+    with open(Path(path)) as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ValueError(
+                    f"line {line_no}: expected 3 integers, got {line!r}"
+                )
+            try:
+                k, i, j = (int(p) for p in parts)
+            except ValueError:
+                raise ValueError(
+                    f"line {line_no}: expected 3 integers, got {line!r}"
+                ) from None
+            if header is None:
+                if min(k, i, j) < 0:
+                    raise ValueError(f"line {line_no}: header sizes must be >= 0")
+                header = (k, i, j)
+                continue
+            l, n, m = header
+            if not (0 <= k < l and 0 <= i < n and 0 <= j < m):
+                raise ValueError(
+                    f"line {line_no}: cell ({k},{i},{j}) outside {l}x{n}x{m}"
+                )
+            cells.append((k, i, j))
+    if header is None:
+        raise ValueError("triples file has no 'l n m' header")
+    return Dataset3D.from_cells(header, cells, **label_kwargs)
+
+
+def load_event_csv(
+    path: str | Path,
+    *,
+    height_column: str,
+    row_column: str,
+    column_column: str,
+    delimiter: str = ",",
+) -> Dataset3D:
+    """Build a 3D context from a CSV event log.
+
+    Each CSV record is one observed event — e.g. ``(month, region,
+    item)`` for "item sold in region during month".  The distinct
+    values of each designated column become that axis's labels (in
+    first-appearance order), and every event sets its cell to 1.
+    This is the on-ramp from real transaction logs to FCC mining::
+
+        ds = load_event_csv("sales.csv", height_column="month",
+                            row_column="region", column_column="item")
+    """
+    with open(Path(path), newline="") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        if reader.fieldnames is None:
+            raise ValueError("event CSV has no header row")
+        for needed in (height_column, row_column, column_column):
+            if needed not in reader.fieldnames:
+                raise ValueError(
+                    f"column {needed!r} not in CSV header {reader.fieldnames}"
+                )
+        heights: dict[str, int] = {}
+        rows: dict[str, int] = {}
+        columns: dict[str, int] = {}
+        events: list[tuple[int, int, int]] = []
+        for record in reader:
+            k = heights.setdefault(record[height_column], len(heights))
+            i = rows.setdefault(record[row_column], len(rows))
+            j = columns.setdefault(record[column_column], len(columns))
+            events.append((k, i, j))
+    if not events:
+        raise ValueError("event CSV holds no data rows")
+    return Dataset3D.from_cells(
+        (len(heights), len(rows), len(columns)),
+        events,
+        height_labels=list(heights),
+        row_labels=list(rows),
+        column_labels=list(columns),
+    )
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def result_to_json(result: MiningResult, dataset: Dataset3D | None = None) -> str:
+    """Serialize a result (with optional labels) to a JSON document."""
+    payload: dict = {
+        "algorithm": result.algorithm,
+        "dataset_shape": list(result.dataset_shape) if result.dataset_shape else None,
+        "thresholds": (
+            list(result.thresholds.as_tuple()) if result.thresholds else None
+        ),
+        "elapsed_seconds": result.elapsed_seconds,
+        "stats": result.stats,
+        "cubes": [
+            {
+                "heights": list(cube.height_indices()),
+                "rows": list(cube.row_indices()),
+                "columns": list(cube.column_indices()),
+            }
+            for cube in result
+        ],
+    }
+    if dataset is not None:
+        payload["labels"] = {
+            "heights": list(dataset.height_labels),
+            "rows": list(dataset.row_labels),
+            "columns": list(dataset.column_labels),
+        }
+    return json.dumps(payload, indent=2)
+
+
+def result_from_json(text: str) -> MiningResult:
+    """Rebuild a :class:`MiningResult` from :func:`result_to_json` output."""
+    payload = json.loads(text)
+    cubes = [
+        Cube.from_indices(entry["heights"], entry["rows"], entry["columns"])
+        for entry in payload["cubes"]
+    ]
+    thresholds = (
+        Thresholds(*payload["thresholds"]) if payload.get("thresholds") else None
+    )
+    shape = payload.get("dataset_shape")
+    return MiningResult(
+        cubes=cubes,
+        algorithm=payload.get("algorithm", "unknown"),
+        thresholds=thresholds,
+        dataset_shape=tuple(shape) if shape else None,
+        elapsed_seconds=payload.get("elapsed_seconds", 0.0),
+        stats=payload.get("stats", {}),
+    )
+
+
+def result_to_csv(result: MiningResult, dataset: Dataset3D | None = None) -> str:
+    """One cube per CSV row: supports plus space-separated members."""
+    buffer = _io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["h_support", "r_support", "c_support", "heights", "rows", "columns"]
+    )
+    for cube in result:
+        if dataset is not None:
+            hs = " ".join(dataset.height_labels[k] for k in cube.height_indices())
+            rs = " ".join(dataset.row_labels[i] for i in cube.row_indices())
+            cs = " ".join(dataset.column_labels[j] for j in cube.column_indices())
+        else:
+            hs = " ".join(str(k) for k in cube.height_indices())
+            rs = " ".join(str(i) for i in cube.row_indices())
+            cs = " ".join(str(j) for j in cube.column_indices())
+        writer.writerow(
+            [cube.h_support, cube.r_support, cube.c_support, hs, rs, cs]
+        )
+    return buffer.getvalue()

@@ -1,0 +1,15 @@
+"""Frequent closed hyper-cube mining in rank-d tensors (RSM generalized)."""
+
+from .miner import MiningResultND, mine_nd, oracle_mine_nd
+from .pattern import PatternND, axis_support, is_closed_nd
+from .tensor import DatasetND
+
+__all__ = [
+    "MiningResultND",
+    "mine_nd",
+    "oracle_mine_nd",
+    "PatternND",
+    "axis_support",
+    "is_closed_nd",
+    "DatasetND",
+]

@@ -1,0 +1,194 @@
+"""Recursive slice mining: frequent closed hyper-cubes in rank-d tensors.
+
+The RSM idea (Section 4 of the paper) iterates naturally: to mine a
+rank-``d`` tensor, enumerate every subset of axis 0 that meets its
+minimum size, AND the member slices into one rank-``(d-1)`` tensor
+(the representative slice, generalized), mine *that* recursively, and
+keep a combined pattern only when the enumerated subset is exactly the
+axis-0 support of the sub-pattern (the Lemma-1 post-prune, which also
+guarantees each pattern is produced exactly once).  The recursion
+bottoms out at rank 2, where any 2D FCP miner applies — D-Miner by
+default, as in the paper.
+
+Correctness is the paper's RSM theorem applied inductively: a collapsed
+cell is 1 iff every enumerated slice is 1 there, so closure inside the
+collapsed tensor coincides with closure in the original restricted to
+the subset, and the post-prune restores closure along the enumerated
+axis.  The cost is exponential in every axis except the last two —
+the same trade-off the paper describes for RSM, taken to rank d.
+
+For rank 3 prefer :func:`repro.api.mine` (bitmask-specialized, with
+CubeMiner available); this module exists for rank >= 4 and for
+cross-checking the 3D code path against an independent implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from ..fcp import FCPMiner, get_fcp_miner
+from ..fcp.matrix import BinaryMatrix
+from .pattern import PatternND, axis_support
+from .tensor import DatasetND
+
+__all__ = ["MiningResultND", "mine_nd", "oracle_mine_nd"]
+
+#: Enumerated-axis sizes beyond this make the subset count explode;
+#: refuse loudly rather than hang.
+_MAX_ENUMERATED_AXIS = 20
+
+
+@dataclass
+class MiningResultND:
+    """Outcome of a rank-d mining run."""
+
+    patterns: list[PatternND]
+    min_sizes: tuple[int, ...]
+    dataset_shape: tuple[int, ...]
+    elapsed_seconds: float = 0.0
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unique = {pattern: None for pattern in self.patterns}
+        self.patterns = sorted(unique, key=lambda p: p.indices)
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self):
+        return iter(self.patterns)
+
+    def pattern_set(self) -> frozenset[PatternND]:
+        return frozenset(self.patterns)
+
+
+def _check_min_sizes(shape: tuple[int, ...], min_sizes: Sequence[int]) -> tuple[int, ...]:
+    sizes = tuple(int(s) for s in min_sizes)
+    if len(sizes) != len(shape):
+        raise ValueError(
+            f"need one minimum size per axis: got {len(sizes)} for rank {len(shape)}"
+        )
+    if any(s < 1 for s in sizes):
+        raise ValueError("minimum sizes must all be >= 1")
+    return sizes
+
+
+def mine_nd(
+    dataset: DatasetND | np.ndarray,
+    min_sizes: Sequence[int],
+    *,
+    fcp_miner: str | FCPMiner = "dminer",
+) -> MiningResultND:
+    """Mine all frequent closed hyper-cubes of a rank-d tensor.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`DatasetND` or anything convertible to one (rank >= 2).
+    min_sizes:
+        One minimum size per axis, in axis order.
+    fcp_miner:
+        The rank-2 base-case miner (registry name or instance).
+    """
+    if not isinstance(dataset, DatasetND):
+        dataset = DatasetND(dataset)
+    sizes = _check_min_sizes(dataset.shape, min_sizes)
+    miner = get_fcp_miner(fcp_miner) if isinstance(fcp_miner, str) else fcp_miner
+    for axis_size in dataset.shape[:-2]:
+        if axis_size > _MAX_ENUMERATED_AXIS:
+            raise ValueError(
+                f"axis of size {axis_size} would need 2^{axis_size} subset "
+                "enumerations; transpose the tensor so big axes come last"
+            )
+    start = time.perf_counter()
+    stats = {"slices_enumerated": 0, "postprune_pruned": 0}
+    feasible = all(s <= size for s, size in zip(sizes, dataset.shape))
+    raw = _mine_array(dataset.data, sizes, miner, stats) if feasible else []
+    return MiningResultND(
+        patterns=[PatternND(p) for p in raw],
+        min_sizes=sizes,
+        dataset_shape=dataset.shape,
+        elapsed_seconds=time.perf_counter() - start,
+        stats=stats,
+    )
+
+
+def _mine_array(
+    data: np.ndarray,
+    min_sizes: tuple[int, ...],
+    miner: FCPMiner,
+    stats: dict[str, int],
+) -> list[tuple[tuple[int, ...], ...]]:
+    """Recursive core over raw arrays; returns tuples of index tuples."""
+    if data.ndim == 2:
+        matrix = BinaryMatrix.from_array(data)
+        patterns = miner.mine(matrix, min_rows=min_sizes[0], min_columns=min_sizes[1])
+        return [(p.row_indices(), p.column_indices()) for p in patterns]
+
+    n_first = data.shape[0]
+    found: list[tuple[tuple[int, ...], ...]] = []
+    for size in range(min_sizes[0], n_first + 1):
+        for subset in combinations(range(n_first), size):
+            stats["slices_enumerated"] += 1
+            collapsed = data[list(subset)].all(axis=0)
+            for sub_pattern in _mine_array(collapsed, min_sizes[1:], miner, stats):
+                # Post-prune (Lemma 1 generalized): keep only when the
+                # subset is exactly the axis-0 support of the sub-block.
+                probe = PatternND((subset, *sub_pattern))
+                support = axis_support(data, 0, probe)
+                if support == subset:
+                    found.append((subset, *sub_pattern))
+                else:
+                    stats["postprune_pruned"] += 1
+    return found
+
+
+def oracle_mine_nd(
+    dataset: DatasetND | np.ndarray, min_sizes: Sequence[int]
+) -> MiningResultND:
+    """Exhaustive rank-d oracle: enumerate subsets of every axis but the
+    last, derive the last axis by support, keep closed combinations.
+
+    Exponential in everything — tiny test tensors only.
+    """
+    if not isinstance(dataset, DatasetND):
+        dataset = DatasetND(dataset)
+    sizes = _check_min_sizes(dataset.shape, min_sizes)
+    if sum(dataset.shape[:-1]) > 24:
+        raise ValueError("oracle limited to ~24 enumerated indices total")
+    start = time.perf_counter()
+    data = dataset.data
+    found: set[PatternND] = set()
+
+    def recurse(axis: int, chosen: list[tuple[int, ...]]) -> None:
+        if axis == data.ndim - 1:
+            probe = PatternND((*chosen, tuple(range(data.shape[-1]))))
+            last = axis_support(data, data.ndim - 1, probe)
+            if len(last) < sizes[-1]:
+                return
+            candidate = PatternND((*chosen, last))
+            for check_axis in range(data.ndim - 1):
+                if (
+                    axis_support(data, check_axis, candidate)
+                    != candidate.indices[check_axis]
+                ):
+                    return
+            found.add(candidate)
+            return
+        for size in range(sizes[axis], data.shape[axis] + 1):
+            for subset in combinations(range(data.shape[axis]), size):
+                recurse(axis + 1, chosen + [subset])
+
+    if all(s <= size for s, size in zip(sizes, dataset.shape)):
+        recurse(0, [])
+    return MiningResultND(
+        patterns=sorted(found, key=lambda p: p.indices),
+        min_sizes=sizes,
+        dataset_shape=dataset.shape,
+        elapsed_seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,93 @@
+"""Frequent closed hyper-cube patterns and their closure predicates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .tensor import DatasetND
+
+__all__ = ["PatternND", "axis_support", "is_closed_nd"]
+
+
+@dataclass(frozen=True, slots=True)
+class PatternND:
+    """A closed hyper-cube: one ascending index tuple per axis."""
+
+    indices: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        normalized = tuple(tuple(sorted(set(axis))) for axis in self.indices)
+        object.__setattr__(self, "indices", normalized)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.indices)
+
+    def support(self, axis: int) -> int:
+        """Number of indices along ``axis``."""
+        return len(self.indices[axis])
+
+    @property
+    def supports(self) -> tuple[int, ...]:
+        return tuple(len(axis) for axis in self.indices)
+
+    @property
+    def volume(self) -> int:
+        out = 1
+        for axis in self.indices:
+            out *= len(axis)
+        return out
+
+    def is_empty(self) -> bool:
+        return any(len(axis) == 0 for axis in self.indices)
+
+    def contains(self, other: "PatternND") -> bool:
+        """True when ``other`` is a sub-block on every axis."""
+        if other.ndim != self.ndim:
+            return False
+        return all(
+            set(theirs) <= set(ours)
+            for ours, theirs in zip(self.indices, other.indices)
+        )
+
+    def format(self, dataset: DatasetND | None = None) -> str:
+        parts = []
+        for axis, members in enumerate(self.indices):
+            if dataset is not None:
+                labels = dataset.axis_labels[axis]
+                parts.append("".join(labels[i] for i in members))
+            else:
+                parts.append("{" + ",".join(str(i) for i in members) + "}")
+        return " : ".join(parts) + ", " + ":".join(str(s) for s in self.supports)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def axis_support(data: np.ndarray, axis: int, block: PatternND) -> tuple[int, ...]:
+    """Indices along ``axis`` whose slices are all-ones on the block.
+
+    ``block`` supplies the index sets for every axis *except* ``axis``
+    (its own entry there is ignored).
+    """
+    selector = [list(members) for members in block.indices]
+    selector[axis] = list(range(data.shape[axis]))
+    sub = data[np.ix_(*selector)]
+    other_axes = tuple(a for a in range(data.ndim) if a != axis)
+    hits = sub.all(axis=other_axes) if other_axes else sub
+    return tuple(int(i) for i in np.flatnonzero(hits))
+
+
+def is_closed_nd(dataset: DatasetND, pattern: PatternND) -> bool:
+    """True when the pattern is all-ones and maximal along every axis."""
+    if pattern.ndim != dataset.ndim or pattern.is_empty():
+        return False
+    block = dataset.data[np.ix_(*[list(m) for m in pattern.indices])]
+    if not block.all():
+        return False
+    return all(
+        axis_support(dataset.data, axis, pattern) == pattern.indices[axis]
+        for axis in range(dataset.ndim)
+    )

@@ -1,0 +1,132 @@
+"""N-dimensional binary datasets (the 3D model generalized).
+
+The paper generalizes 2D frequent closed patterns to 3D.  This
+subpackage carries the construction one step further, to arbitrary
+rank: a :class:`DatasetND` is a rank-``d`` boolean tensor with labeled
+axes, and :mod:`repro.ndim.miner` finds all *frequent closed
+hyper-cubes* — all-ones sub-tensors maximal along every axis, with a
+minimum size per axis.
+
+The 3D classes remain the primary, optimized API; DatasetND trades the
+bitmask specialization for generality (it stores a numpy array and
+derives what the recursive miner needs on the fly).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["DatasetND"]
+
+
+class DatasetND:
+    """An immutable rank-``d`` boolean tensor with labeled axes.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a boolean numpy array of rank >= 2.
+    axis_labels:
+        Optional per-axis label sequences; defaults to ``x0_1, x0_2...``
+        per axis index.
+    """
+
+    __slots__ = ("_data", "_axis_labels")
+
+    def __init__(
+        self,
+        data: Sequence | np.ndarray,
+        *,
+        axis_labels: Sequence[Sequence[str]] | None = None,
+    ) -> None:
+        array = np.asarray(data)
+        if array.ndim < 2:
+            raise ValueError(f"expected rank >= 2, got rank {array.ndim}")
+        if array.dtype != np.bool_:
+            unique = np.unique(array)
+            if not np.isin(unique, (0, 1)).all():
+                raise ValueError("dataset cells must be boolean or 0/1")
+            array = array.astype(bool)
+        self._data = array
+        self._data.setflags(write=False)
+        if axis_labels is None:
+            axis_labels = [
+                [f"x{axis}_{i + 1}" for i in range(size)]
+                for axis, size in enumerate(array.shape)
+            ]
+        if len(axis_labels) != array.ndim:
+            raise ValueError(
+                f"got {len(axis_labels)} label sequences for rank {array.ndim}"
+            )
+        checked: list[tuple[str, ...]] = []
+        for axis, labels in enumerate(axis_labels):
+            labels = tuple(str(label) for label in labels)
+            if len(labels) != array.shape[axis]:
+                raise ValueError(
+                    f"axis {axis} has {array.shape[axis]} entries but "
+                    f"{len(labels)} labels"
+                )
+            if len(set(labels)) != len(labels):
+                raise ValueError(f"axis {axis} labels must be unique")
+            checked.append(labels)
+        self._axis_labels = tuple(checked)
+
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @property
+    def ndim(self) -> int:
+        return self._data.ndim
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._data.shape
+
+    @property
+    def axis_labels(self) -> tuple[tuple[str, ...], ...]:
+        return self._axis_labels
+
+    @property
+    def density(self) -> float:
+        if self._data.size == 0:
+            return 0.0
+        return float(self._data.mean())
+
+    # ------------------------------------------------------------------
+    def select(self, axis: int, indices: Sequence[int]) -> "DatasetND":
+        """Restrict ``axis`` to ``indices`` (keeps rank)."""
+        taken = np.take(self._data, list(indices), axis=axis).copy()
+        labels = list(self._axis_labels)
+        labels[axis] = tuple(self._axis_labels[axis][i] for i in indices)
+        return DatasetND(taken, axis_labels=labels)
+
+    def collapse_all(self, axis: int, indices: Sequence[int]) -> np.ndarray:
+        """AND the slices of ``indices`` along ``axis`` (rank drops by 1).
+
+        This is the representative-slice operation generalized: the
+        result is 1 where every selected slice is 1.
+        """
+        if not indices:
+            raise ValueError("need at least one index to collapse")
+        taken = np.take(self._data, list(indices), axis=axis)
+        return taken.all(axis=axis)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatasetND):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and bool(np.array_equal(self._data, other._data))
+            and self._axis_labels == other._axis_labels
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.shape, self._data.tobytes()))
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(s) for s in self.shape)
+        return f"DatasetND(shape={dims}, density={self.density:.3f})"

@@ -1,0 +1,24 @@
+"""Parallel FCC mining (Section 6): real pools and a scheduler simulator."""
+
+from .executor import parallel_cubeminer_mine, parallel_rsm_mine
+from .simulator import (
+    CommunicationModel,
+    measure_cubeminer_task_times,
+    measure_rsm_task_times,
+    schedule_makespan,
+    simulate_response_times,
+)
+from .tasks import CubeMinerTask, cubeminer_tasks, rsm_tasks
+
+__all__ = [
+    "parallel_cubeminer_mine",
+    "parallel_rsm_mine",
+    "CommunicationModel",
+    "measure_cubeminer_task_times",
+    "measure_rsm_task_times",
+    "schedule_makespan",
+    "simulate_response_times",
+    "CubeMinerTask",
+    "cubeminer_tasks",
+    "rsm_tasks",
+]

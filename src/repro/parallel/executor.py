@@ -1,0 +1,212 @@
+"""Parallel FCC mining with worker processes (Section 6, phases b-c).
+
+Every worker receives a full copy of the dataset once (through the pool
+initializer, matching the paper's "each processor requires a copy of
+the entire dataset") and then executes its allocated tasks without any
+inter-worker communication:
+
+* :func:`parallel_rsm_mine` — tasks are base-dimension subsets; a
+  worker builds each representative slice, mines it with the 2D miner
+  and post-prunes locally.
+* :func:`parallel_cubeminer_mine` — tasks are frontier branches of the
+  splitting tree; a worker resumes the sequential engine from the
+  branch's node, cutter index and track sets.
+
+Both functions fall back to inline execution for ``n_workers == 1`` or
+trivially small task lists, so results and tests do not depend on
+multiprocessing availability.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import get_context
+
+from ..core.constraints import Thresholds
+from ..core.cube import Cube
+from ..core.dataset import Dataset3D
+from ..core.permute import map_cube_from_transposed, order_moving_axis_first
+from ..core.result import MiningResult
+from ..cubeminer.algorithm import CubeMinerStats, _run
+from ..cubeminer.cutter import Cutter, HeightOrder, build_cutters
+from ..fcp import get_fcp_miner
+from ..rsm.algorithm import resolve_base_axis
+from ..rsm.postprune import height_closed_in
+from ..rsm.slices import representative_slice
+from .tasks import CubeMinerTask, cubeminer_tasks, rsm_tasks
+
+__all__ = ["parallel_rsm_mine", "parallel_cubeminer_mine"]
+
+# ----------------------------------------------------------------------
+# Worker-side state and functions (must be importable at top level).
+# ----------------------------------------------------------------------
+_worker_dataset: Dataset3D | None = None
+_worker_thresholds: Thresholds | None = None
+_worker_fcp_name: str = "dminer"
+_worker_cutters: list[Cutter] | None = None
+
+
+def _init_rsm_worker(dataset: Dataset3D, thresholds: Thresholds, fcp_name: str) -> None:
+    global _worker_dataset, _worker_thresholds, _worker_fcp_name
+    _worker_dataset = dataset
+    _worker_thresholds = thresholds
+    _worker_fcp_name = fcp_name
+
+
+def _rsm_worker_chunk(height_masks: list[int]) -> list[tuple[int, int, int]]:
+    """Mine a chunk of representative slices; return raw cube triples."""
+    dataset = _worker_dataset
+    thresholds = _worker_thresholds
+    assert dataset is not None and thresholds is not None
+    miner = get_fcp_miner(_worker_fcp_name)
+    found: list[tuple[int, int, int]] = []
+    for heights in height_masks:
+        size = heights.bit_count()
+        rs = representative_slice(dataset, heights)
+        patterns = miner.mine(
+            rs, min_rows=thresholds.min_r, min_columns=thresholds.min_c
+        )
+        for pattern in patterns:
+            volume = size * pattern.row_support * pattern.column_support
+            if volume < thresholds.min_volume:
+                continue
+            if height_closed_in(dataset, heights, pattern.rows, pattern.columns):
+                found.append((heights, pattern.rows, pattern.columns))
+    return found
+
+
+def _init_cubeminer_worker(
+    dataset: Dataset3D, thresholds: Thresholds, cutters: list[Cutter]
+) -> None:
+    global _worker_dataset, _worker_thresholds, _worker_cutters
+    _worker_dataset = dataset
+    _worker_thresholds = thresholds
+    _worker_cutters = cutters
+
+
+def _cubeminer_worker_chunk(tasks: list[CubeMinerTask]) -> list[tuple[int, int, int]]:
+    """Resume the sequential engine on a chunk of tree branches."""
+    dataset = _worker_dataset
+    thresholds = _worker_thresholds
+    cutters = _worker_cutters
+    assert dataset is not None and thresholds is not None and cutters is not None
+    stack = [task.as_stack_item() for task in tasks]
+    cubes, _stats = _run(dataset, thresholds, cutters, stack, CubeMinerStats())
+    return [(cube.heights, cube.rows, cube.columns) for cube in cubes]
+
+
+def _chunked(items: list, n_chunks: int) -> list[list]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, even chunks."""
+    n_chunks = max(1, min(n_chunks, len(items)))
+    size, extra = divmod(len(items), n_chunks)
+    chunks = []
+    start = 0
+    for c in range(n_chunks):
+        end = start + size + (1 if c < extra else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+# ----------------------------------------------------------------------
+# Public drivers
+# ----------------------------------------------------------------------
+def parallel_rsm_mine(
+    dataset: Dataset3D,
+    thresholds: Thresholds,
+    *,
+    n_workers: int = 2,
+    base_axis: int | str = "auto",
+    fcp_miner: str = "dminer",
+    chunks_per_worker: int = 4,
+) -> MiningResult:
+    """Parallel RSM: fan representative-slice tasks across processes."""
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    get_fcp_miner(fcp_miner)  # validate the name before forking
+    start = time.perf_counter()
+    axis = resolve_base_axis(dataset, base_axis)
+    axis_name = ("h", "r", "c")[axis]
+    order = order_moving_axis_first(axis)
+    working = dataset if axis == 0 else dataset.transpose(order)  # type: ignore[arg-type]
+    working_thresholds = thresholds.permute(order)
+
+    tasks = (
+        rsm_tasks(working.n_heights, working_thresholds.min_h)
+        if working_thresholds.feasible_for_shape(working.shape)
+        else []
+    )
+    raw: list[tuple[int, int, int]] = []
+    if n_workers == 1 or len(tasks) <= 1:
+        _init_rsm_worker(working, working_thresholds, fcp_miner)
+        raw = _rsm_worker_chunk(tasks)
+    else:
+        chunks = _chunked(tasks, n_workers * chunks_per_worker)
+        ctx = get_context()
+        with ctx.Pool(
+            processes=n_workers,
+            initializer=_init_rsm_worker,
+            initargs=(working, working_thresholds, fcp_miner),
+        ) as pool:
+            for part in pool.map(_rsm_worker_chunk, chunks):
+                raw.extend(part)
+
+    cubes = [
+        map_cube_from_transposed(Cube(h, r, c), order) for h, r, c in raw
+    ]
+    return MiningResult(
+        cubes=cubes,
+        algorithm=f"parallel-rsm-{axis_name}[{fcp_miner}]x{n_workers}",
+        thresholds=thresholds,
+        dataset_shape=dataset.shape,
+        elapsed_seconds=time.perf_counter() - start,
+        stats={"n_tasks": len(tasks), "n_workers": n_workers},
+    )
+
+
+def parallel_cubeminer_mine(
+    dataset: Dataset3D,
+    thresholds: Thresholds,
+    *,
+    n_workers: int = 2,
+    order: HeightOrder = HeightOrder.ZERO_DECREASING,
+    min_tasks: int | None = None,
+    chunks_per_worker: int = 4,
+) -> MiningResult:
+    """Parallel CubeMiner: fan tree branches across processes."""
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    start = time.perf_counter()
+    cutters = build_cutters(dataset, order)
+    if min_tasks is None:
+        min_tasks = max(8 * n_workers, 1)
+    tasks, done = cubeminer_tasks(dataset, thresholds, cutters, min_tasks)
+
+    raw: list[tuple[int, int, int]] = []
+    if n_workers == 1 or len(tasks) <= 1:
+        _init_cubeminer_worker(dataset, thresholds, cutters)
+        raw = _cubeminer_worker_chunk(tasks)
+    else:
+        chunks = _chunked(tasks, n_workers * chunks_per_worker)
+        ctx = get_context()
+        with ctx.Pool(
+            processes=n_workers,
+            initializer=_init_cubeminer_worker,
+            initargs=(dataset, thresholds, cutters),
+        ) as pool:
+            for part in pool.map(_cubeminer_worker_chunk, chunks):
+                raw.extend(part)
+
+    cubes = list(done) + [Cube(h, r, c) for h, r, c in raw]
+    return MiningResult(
+        cubes=cubes,
+        algorithm=f"parallel-cubeminer[{order.value}]x{n_workers}",
+        thresholds=thresholds,
+        dataset_shape=dataset.shape,
+        elapsed_seconds=time.perf_counter() - start,
+        stats={
+            "n_tasks": len(tasks),
+            "n_workers": n_workers,
+            "fccs_during_expansion": len(done),
+        },
+    )

@@ -1,0 +1,166 @@
+"""The Representative Slice Mining framework (Section 4).
+
+RSM mines FCCs in three phases:
+
+1. enumerate every subset of the base dimension with at least ``minH``
+   members and AND its slices into a representative slice (phase 1,
+   :mod:`repro.rsm.slices`);
+2. run any 2D frequent-closed-pattern miner on each representative
+   slice with the ``minR`` / ``minC`` thresholds (phase 2,
+   :mod:`repro.fcp` — D-Miner by default, as in the paper);
+3. keep a pattern only when its height set is exactly the enumerated
+   subset, i.e. no outside slice also contains it (phase 3, Lemma 1,
+   :mod:`repro.rsm.postprune`).
+
+Each FCC is produced exactly once — by the subset equal to its height
+support set.  The base dimension defaults to heights; ``base_axis``
+transposes internally and maps results back, and ``"auto"`` picks the
+smallest dimension (the paper's heuristic — enumeration cost is
+exponential in the base dimension's size).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.bitset import bit_count
+from ..core.constraints import Thresholds
+from ..core.cube import Cube
+from ..core.dataset import Dataset3D
+from ..core.permute import map_cube_from_transposed, order_moving_axis_first
+from ..core.result import MiningResult
+from ..fcp import FCPMiner, get_fcp_miner
+from .postprune import PostPruneStats, height_closed_in
+from .slices import enumerate_height_subsets, representative_slice
+
+__all__ = ["rsm_mine", "RSMMiner", "resolve_base_axis"]
+
+_AXIS_BY_NAME = {"height": 0, "row": 1, "column": 2}
+
+
+def resolve_base_axis(dataset: Dataset3D, base_axis: int | str) -> int:
+    """Normalize ``base_axis`` to an axis index; ``"auto"`` = smallest."""
+    if base_axis == "auto":
+        shape = dataset.shape
+        return min(range(3), key=lambda axis: (shape[axis], axis))
+    if isinstance(base_axis, str):
+        try:
+            return _AXIS_BY_NAME[base_axis]
+        except KeyError:
+            raise ValueError(
+                f"unknown base axis {base_axis!r}; use height/row/column/auto"
+            ) from None
+    if base_axis not in (0, 1, 2):
+        raise ValueError(f"base axis index must be 0, 1 or 2, got {base_axis}")
+    return base_axis
+
+
+def rsm_mine(
+    dataset: Dataset3D,
+    thresholds: Thresholds,
+    *,
+    base_axis: int | str = "height",
+    fcp_miner: str | FCPMiner = "dminer",
+) -> MiningResult:
+    """Mine all frequent closed cubes of ``dataset`` with RSM.
+
+    Parameters
+    ----------
+    dataset:
+        The 3D boolean context.
+    thresholds:
+        Minimum supports in the dataset's own axis order (they are
+        permuted internally when ``base_axis`` is not the height axis).
+    base_axis:
+        Which dimension to enumerate: ``"height"`` (default, the
+        paper's exposition), ``"row"``, ``"column"``, an axis index, or
+        ``"auto"`` for the smallest dimension (the paper's recommended
+        heuristic, cf. RSM-R vs RSM-H in Figure 3).
+    fcp_miner:
+        The 2D phase-2 algorithm: a registry name (``"dminer"``,
+        ``"cbo"``, ``"charm"``, ``"carpenter"``) or any
+        :class:`~repro.fcp.base.FCPMiner` instance.
+    """
+    miner = get_fcp_miner(fcp_miner) if isinstance(fcp_miner, str) else fcp_miner
+    axis = resolve_base_axis(dataset, base_axis)
+    axis_name = ("H", "R", "C")[axis]
+    start = time.perf_counter()
+
+    if axis == 0:
+        cubes, stats = _mine_base_height(dataset, thresholds, miner)
+    else:
+        order = order_moving_axis_first(axis)
+        transposed = dataset.transpose(order)  # type: ignore[arg-type]
+        permuted = thresholds.permute(order)
+        raw_cubes, stats = _mine_base_height(transposed, permuted, miner)
+        cubes = [map_cube_from_transposed(cube, order) for cube in raw_cubes]
+
+    return MiningResult(
+        cubes=cubes,
+        algorithm=f"rsm-{axis_name.lower()}[{miner.name}]",
+        thresholds=thresholds,
+        dataset_shape=dataset.shape,
+        elapsed_seconds=time.perf_counter() - start,
+        stats=stats,
+    )
+
+
+def _mine_base_height(
+    dataset: Dataset3D,
+    thresholds: Thresholds,
+    miner: FCPMiner,
+) -> tuple[list[Cube], dict[str, int]]:
+    """RSM's three phases with the height axis as base dimension."""
+    min_h, min_r, min_c = thresholds.as_tuple()
+    min_volume = thresholds.min_volume
+    prune = PostPruneStats()
+    n_slices = 0
+    n_patterns = 0
+    cubes: list[Cube] = []
+    if thresholds.feasible_for_shape(dataset.shape):
+        slice_cells = dataset.n_rows * dataset.n_columns
+        for heights in enumerate_height_subsets(dataset.n_heights, min_h):
+            size = bit_count(heights)
+            if size * slice_cells < min_volume:
+                # No pattern of this slice can reach the volume floor.
+                continue
+            n_slices += 1
+            rs = representative_slice(dataset, heights)
+            patterns = miner.mine(rs, min_rows=min_r, min_columns=min_c)
+            n_patterns += len(patterns)
+            for pattern in patterns:
+                if size * pattern.row_support * pattern.column_support < min_volume:
+                    continue
+                kept = height_closed_in(dataset, heights, pattern.rows, pattern.columns)
+                prune.record(kept)
+                if kept:
+                    cubes.append(Cube(heights, pattern.rows, pattern.columns))
+    stats = {
+        "representative_slices": n_slices,
+        "fcp_patterns": n_patterns,
+        "postprune_checked": prune.patterns_checked,
+        "postprune_pruned": prune.patterns_pruned,
+    }
+    return cubes, stats
+
+
+class RSMMiner:
+    """Object-style facade over :func:`rsm_mine`."""
+
+    name = "rsm"
+
+    def __init__(
+        self,
+        base_axis: int | str = "auto",
+        fcp_miner: str | FCPMiner = "dminer",
+    ) -> None:
+        self.base_axis = base_axis
+        self.fcp_miner = fcp_miner
+
+    def mine(self, dataset: Dataset3D, thresholds: Thresholds) -> MiningResult:
+        return rsm_mine(
+            dataset, thresholds, base_axis=self.base_axis, fcp_miner=self.fcp_miner
+        )
+
+    def __repr__(self) -> str:
+        return f"RSMMiner(base_axis={self.base_axis!r}, fcp_miner={self.fcp_miner!r})"

@@ -1,0 +1,51 @@
+"""Phase 3 of RSM: post-pruning of height-unclosed patterns (Lemma 1).
+
+Combining a 2D FCP with its representative slice's contributing heights
+gives a 3D frequent pattern that is already closed in rows and columns
+(the 2D miner guarantees it — the RS row/column supports equal the 3D
+ones).  It may still be unclosed in the height set: the same 2D pattern
+can be contained in further slices outside the subset.  Lemma 1 prunes
+exactly those, with double early termination: one zero cell dismisses a
+candidate slice, one fully-covering slice dismisses the pattern.
+"""
+
+from __future__ import annotations
+
+from ..core.bitset import iter_bits
+from ..core.dataset import Dataset3D
+
+__all__ = ["height_closed_in", "PostPruneStats"]
+
+
+def height_closed_in(dataset: Dataset3D, heights: int, rows: int, columns: int) -> bool:
+    """True when no height outside ``heights`` covers ``rows x columns``.
+
+    This is Lemma 1's retention condition; it is the same predicate as
+    CubeMiner's Hcheck (Lemma 4) and shares its early-termination
+    structure: the inner loop stops at the first zero cell, the outer
+    loop stops at the first covering slice.
+    """
+    for h in range(dataset.n_heights):
+        if heights >> h & 1:
+            continue
+        for i in iter_bits(rows):
+            if dataset.zeros_mask(h, i) & columns:
+                break
+        else:
+            return False
+    return True
+
+
+class PostPruneStats:
+    """Counters for the post-pruning phase (exposed in result stats)."""
+
+    __slots__ = ("patterns_checked", "patterns_pruned")
+
+    def __init__(self) -> None:
+        self.patterns_checked = 0
+        self.patterns_pruned = 0
+
+    def record(self, kept: bool) -> None:
+        self.patterns_checked += 1
+        if not kept:
+            self.patterns_pruned += 1

@@ -1,0 +1,71 @@
+"""Phase 1 of RSM: representative-slice generation (Section 4.1).
+
+The base dimension (heights, by convention — callers transpose first
+for other axes) is enumerated over every subset of size at least
+``minH``.  Each subset's member slices are combined cell-wise with AND
+into one *representative slice* (RS): an RS cell is 1 only when every
+contributing height has a 1 there.  Any 2D FCP of the RS is therefore
+simultaneously contained in all contributing heights.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from itertools import combinations
+
+from ..core.bitset import iter_bits, mask_of
+from ..core.dataset import Dataset3D
+from ..fcp.matrix import BinaryMatrix
+
+__all__ = [
+    "enumerate_height_subsets",
+    "count_height_subsets",
+    "representative_slice",
+    "iter_representative_slices",
+]
+
+
+def enumerate_height_subsets(n_heights: int, min_h: int) -> Iterator[int]:
+    """Yield every height-subset mask with at least ``min_h`` members.
+
+    Subsets are produced smallest-first, each in ascending member
+    order, so runs are deterministic.
+    """
+    if min_h < 1:
+        raise ValueError(f"min_h must be >= 1, got {min_h}")
+    for size in range(min_h, n_heights + 1):
+        for subset in combinations(range(n_heights), size):
+            yield mask_of(subset)
+
+
+def count_height_subsets(n_heights: int, min_h: int) -> int:
+    """Number of representative slices RSM will generate.
+
+    This is what makes RSM explode when the enumerated dimension grows
+    (Figure 7): the count is ``sum_{s>=minH} C(l, s)``.
+    """
+    from math import comb
+
+    return sum(comb(n_heights, size) for size in range(min_h, n_heights + 1))
+
+
+def representative_slice(dataset: Dataset3D, heights: int) -> BinaryMatrix:
+    """AND the height slices of ``heights`` into one representative slice."""
+    if heights == 0:
+        raise ValueError("a representative slice needs at least one height")
+    member_iter = iter_bits(heights)
+    first = next(member_iter)
+    masks = list(dataset.slice_row_masks(first))
+    for k in member_iter:
+        slice_masks = dataset.slice_row_masks(k)
+        for i, mask in enumerate(slice_masks):
+            masks[i] &= mask
+    return BinaryMatrix.from_row_masks(masks, dataset.n_columns)
+
+
+def iter_representative_slices(
+    dataset: Dataset3D, min_h: int
+) -> Iterator[tuple[int, BinaryMatrix]]:
+    """Yield ``(heights_mask, representative_slice)`` for every subset."""
+    for heights in enumerate_height_subsets(dataset.n_heights, min_h):
+        yield heights, representative_slice(dataset, heights)

@@ -1,0 +1,141 @@
+"""Tests for 3D association rules and descriptive statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cube_implication,
+    dataset_stats,
+    derive_rules,
+    result_stats,
+)
+from repro.api import mine
+from repro.core.bitset import mask_of
+from repro.core.constraints import Thresholds
+from repro.core.cube import Cube
+from repro.core.dataset import Dataset3D
+from repro.core.result import MiningResult
+
+
+@pytest.fixture
+def mined(paper_ds, paper_thresholds):
+    return mine(paper_ds, paper_thresholds)
+
+
+class TestDeriveRules:
+    def test_rules_from_paper_example(self, paper_ds, mined):
+        rules = derive_rules(paper_ds, mined, min_confidence=0.5)
+        assert rules, "expected some rules from the paper example"
+        for rule in rules:
+            assert 0.0 < rule.support <= 1.0
+            assert 0.5 <= rule.confidence <= 1.0
+            assert rule.antecedent & rule.consequent == 0
+
+    def test_confidence_definition(self, paper_ds):
+        """Confidence must equal |R(H' x C')| / |R(H' x C1)| exactly."""
+        from repro.core.closure import row_support
+        from repro.core.bitset import bit_count
+
+        mined = mine(paper_ds, Thresholds(2, 2, 2))
+        rules = derive_rules(paper_ds, mined, min_confidence=0.01)
+        for rule in rules:
+            full = rule.antecedent | rule.consequent
+            numerator = bit_count(row_support(paper_ds, rule.heights, full))
+            denominator = bit_count(
+                row_support(paper_ds, rule.heights, rule.antecedent)
+            )
+            assert rule.confidence == pytest.approx(numerator / denominator)
+
+    def test_min_confidence_filters(self, paper_ds, mined):
+        strict = derive_rules(paper_ds, mined, min_confidence=1.0)
+        loose = derive_rules(paper_ds, mined, min_confidence=0.1)
+        assert len(strict) <= len(loose)
+        assert all(rule.confidence == 1.0 for rule in strict)
+
+    def test_max_antecedent_respected(self, paper_ds, mined):
+        from repro.core.bitset import bit_count
+
+        rules = derive_rules(paper_ds, mined, max_antecedent=1)
+        assert all(bit_count(rule.antecedent) == 1 for rule in rules)
+
+    def test_sorted_by_confidence(self, paper_ds, mined):
+        rules = derive_rules(paper_ds, mined, min_confidence=0.1)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_invalid_parameters(self, paper_ds, mined):
+        with pytest.raises(ValueError, match="min_confidence"):
+            derive_rules(paper_ds, mined, min_confidence=0.0)
+        with pytest.raises(ValueError, match="max_antecedent"):
+            derive_rules(paper_ds, mined, max_antecedent=0)
+
+    def test_empty_result_no_rules(self, paper_ds):
+        empty = MiningResult(cubes=[])
+        assert derive_rules(paper_ds, empty) == []
+
+    def test_format(self, paper_ds, mined):
+        rules = derive_rules(paper_ds, mined, min_confidence=0.5)
+        text = rules[0].format(paper_ds)
+        assert "=>" in text and "confidence=" in text
+        assert "c" in text  # column labels present
+        plain = str(rules[0])
+        assert "=>" in plain
+
+
+class TestCubeImplication:
+    def test_single_rule(self, paper_ds):
+        cube = Cube.from_labels(paper_ds, "h1 h3", "r1 r2 r3", "c1 c2 c3")
+        rule = cube_implication(paper_ds, cube, mask_of([0]))
+        assert rule.consequent == mask_of([1, 2])
+        assert rule.confidence == pytest.approx(1.0)
+
+    def test_rejects_bad_antecedent(self, paper_ds):
+        cube = Cube.from_labels(paper_ds, "h1 h3", "r1 r2 r3", "c1 c2 c3")
+        with pytest.raises(ValueError):
+            cube_implication(paper_ds, cube, 0)
+        with pytest.raises(ValueError):
+            cube_implication(paper_ds, cube, cube.columns)
+        with pytest.raises(ValueError):
+            cube_implication(paper_ds, cube, mask_of([4]))
+
+
+class TestDatasetStats:
+    def test_paper_example(self, paper_ds):
+        stats = dataset_stats(paper_ds)
+        assert stats.shape == (3, 4, 5)
+        assert stats.n_ones == 44
+        assert stats.zeros_per_height == (6, 4, 6)
+        assert stats.n_cutters == 10
+        assert stats.density == pytest.approx(44 / 60)
+
+    def test_format(self, paper_ds):
+        text = dataset_stats(paper_ds).format()
+        assert "3 x 4 x 5" in text
+        assert "cutters    : 10" in text
+
+
+class TestResultStats:
+    def test_empty_result(self, paper_ds):
+        stats = result_stats(paper_ds, MiningResult(cubes=[]))
+        assert stats.n_cubes == 0
+        assert stats.coverage == 0.0
+
+    def test_paper_example_coverage(self, paper_ds, mined):
+        stats = result_stats(paper_ds, mined)
+        assert stats.n_cubes == 5
+        assert 0.0 < stats.coverage <= 1.0
+        assert stats.max_volume == 18  # h1h3 x r1r2r3 x c1c2c3 = 2*3*3
+
+    def test_full_coverage_on_all_ones(self):
+        ds = Dataset3D(np.ones((2, 2, 2), dtype=bool))
+        result = mine(ds, Thresholds(1, 1, 1))
+        stats = result_stats(ds, result)
+        assert stats.coverage == 1.0
+        assert stats.covered_cells == 8
+
+    def test_format(self, paper_ds, mined):
+        text = result_stats(paper_ds, mined).format()
+        assert "cubes        : 5" in text
+        assert "coverage" in text

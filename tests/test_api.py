@@ -1,0 +1,81 @@
+"""Tests for the top-level mine() dispatcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import ALGORITHMS, mine
+from repro.core.constraints import Thresholds
+from repro.core.dataset import Dataset3D
+from repro.core.reference import reference_mine
+from tests.conftest import random_dataset
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_every_algorithm_on_paper_example(
+        self, paper_ds, paper_thresholds, algorithm
+    ):
+        options = {"n_workers": 2} if algorithm.startswith("parallel") else {}
+        result = mine(paper_ds, paper_thresholds, algorithm=algorithm, **options)
+        assert len(result) == 5
+
+    def test_unknown_algorithm(self, paper_ds, paper_thresholds):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            mine(paper_ds, paper_thresholds, algorithm="magic")
+
+    def test_default_is_cubeminer(self, paper_ds, paper_thresholds):
+        result = mine(paper_ds, paper_thresholds)
+        assert result.algorithm.startswith("cubeminer")
+
+    def test_options_forwarded(self, paper_ds, paper_thresholds):
+        result = mine(
+            paper_ds, paper_thresholds, algorithm="rsm", base_axis="column"
+        )
+        assert result.algorithm.startswith("rsm-c")
+
+
+class TestAutoTranspose:
+    def test_identity_shape_untouched(self, paper_ds, paper_thresholds):
+        # 3x4x5 is already ascending; transpose must be a no-op.
+        result = mine(paper_ds, paper_thresholds, auto_transpose=True)
+        assert "transpose" not in result.algorithm
+        assert len(result) == 5
+
+    def test_results_in_original_axis_order(self, rng):
+        # A dataset where columns are NOT the largest axis.
+        data = rng.random((6, 3, 2)) < 0.7
+        ds = Dataset3D(data)
+        th = Thresholds(1, 1, 1)
+        plain = mine(ds, th)
+        transposed = mine(ds, th, auto_transpose=True)
+        assert transposed.same_cubes(plain)
+        assert transposed.thresholds == th
+        assert transposed.dataset_shape == ds.shape
+        assert "transpose" in transposed.algorithm
+
+    def test_random_equivalence(self, rng):
+        for _ in range(20):
+            ds = random_dataset(rng)
+            th = Thresholds(*(int(x) for x in rng.integers(1, 3, size=3)))
+            assert mine(ds, th, auto_transpose=True).same_cubes(
+                reference_mine(ds, th)
+            )
+
+    def test_transposed_thresholds_follow_axes(self, rng):
+        # minH binds the original height axis even after transposition.
+        data = np.ones((4, 2, 3), dtype=bool)
+        ds = Dataset3D(data)
+        result = mine(ds, Thresholds(4, 2, 3), auto_transpose=True)
+        assert len(result) == 1
+        cube = result.cubes[0]
+        assert (cube.h_support, cube.r_support, cube.c_support) == (4, 2, 3)
+
+
+class TestResultMetadata:
+    def test_shape_and_thresholds_recorded(self, paper_ds, paper_thresholds):
+        result = mine(paper_ds, paper_thresholds)
+        assert result.dataset_shape == (3, 4, 5)
+        assert result.thresholds == paper_thresholds
+        assert result.elapsed_seconds >= 0.0

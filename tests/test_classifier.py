@@ -1,0 +1,142 @@
+"""Tests for the FCC-based associative classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.classifier import ClassRule, FCCClassifier
+from repro.core.constraints import Thresholds
+from repro.core.dataset import Dataset3D
+
+
+def two_class_dataset(rng, n_per_class=8, noise=0.08):
+    """Rows of class A share module (h0-2 x c0-7), class B (h3-5 x c15-22)."""
+    l, m = 6, 30
+
+    def make(n, cols, heights):
+        rows = rng.random((l, n, m)) < noise
+        rows[np.ix_(heights, range(n), cols)] = True
+        return rows
+
+    a = make(n_per_class, list(range(0, 8)), [0, 1, 2])
+    b = make(n_per_class, list(range(15, 23)), [3, 4, 5])
+    data = np.concatenate([a, b], axis=1)
+    labels = ["A"] * n_per_class + ["B"] * n_per_class
+    return Dataset3D(data), labels
+
+
+@pytest.fixture
+def trained(rng):
+    dataset, labels = two_class_dataset(rng)
+    clf = FCCClassifier(Thresholds(2, 4, 4), min_confidence=0.7)
+    clf.fit(dataset, labels)
+    return clf, dataset, labels
+
+
+class TestFit:
+    def test_learns_class_rules(self, trained):
+        clf, _, _ = trained
+        assert len(clf.rules) >= 2
+        assert {rule.label for rule in clf.rules} == {"A", "B"}
+
+    def test_rules_sorted_by_confidence(self, trained):
+        clf, _, _ = trained
+        confidences = [rule.confidence for rule in clf.rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_default_label_is_majority(self, rng):
+        dataset, labels = two_class_dataset(rng, n_per_class=5)
+        labels = labels[:-1] + ["A"]  # A majority now
+        clf = FCCClassifier(Thresholds(2, 3, 3)).fit(dataset, labels)
+        assert clf.default_label == "A"
+
+    def test_label_count_mismatch(self, rng):
+        dataset, labels = two_class_dataset(rng)
+        clf = FCCClassifier(Thresholds(2, 2, 2))
+        with pytest.raises(ValueError, match="labels"):
+            clf.fit(dataset, labels[:-1])
+
+    def test_min_confidence_validation(self):
+        with pytest.raises(ValueError, match="min_confidence"):
+            FCCClassifier(Thresholds(1, 1, 1), min_confidence=0.0)
+
+    def test_fit_returns_self(self, rng):
+        dataset, labels = two_class_dataset(rng)
+        clf = FCCClassifier(Thresholds(2, 3, 3))
+        assert clf.fit(dataset, labels) is clf
+
+
+class TestPredict:
+    def test_training_accuracy(self, trained):
+        clf, dataset, labels = trained
+        assert clf.score(dataset, labels) == 1.0
+
+    def test_generalizes_to_fresh_rows(self, trained, rng):
+        clf, _, _ = trained
+        fresh, fresh_labels = two_class_dataset(rng, n_per_class=4)
+        assert clf.score(fresh, fresh_labels) >= 0.75
+
+    def test_predict_one_slab(self, trained):
+        clf, dataset, labels = trained
+        prediction = clf.predict_one(dataset.data[:, 0, :])
+        assert prediction == labels[0]
+
+    def test_scores_exposed(self, trained):
+        clf, dataset, _ = trained
+        label, scores = clf.predict_scores(dataset.data[:, 0, :])
+        assert label in scores
+        assert scores[label] == max(scores.values())
+
+    def test_unmatched_sample_falls_back(self, trained):
+        clf, dataset, _ = trained
+        all_zero = np.zeros((dataset.n_heights, dataset.n_columns), dtype=bool)
+        label, scores = clf.predict_scores(all_zero)
+        assert label == clf.default_label
+        assert scores == {}
+
+    def test_unfitted_raises(self):
+        clf = FCCClassifier(Thresholds(1, 1, 1))
+        with pytest.raises(RuntimeError, match="not fitted"):
+            clf.predict_one(np.zeros((2, 2), dtype=bool))
+
+    def test_rank_validation(self, trained):
+        clf, _, _ = trained
+        with pytest.raises(ValueError, match="rank-2"):
+            clf.predict_one(np.zeros((2, 2, 2), dtype=bool))
+
+    def test_score_label_mismatch(self, trained):
+        clf, dataset, labels = trained
+        with pytest.raises(ValueError, match="labels"):
+            clf.score(dataset, labels[:-1])
+
+
+class TestClassRule:
+    def test_matches(self):
+        rule = ClassRule(
+            heights=0b011, columns=0b101, label="A", confidence=0.9, coverage=0.5
+        )
+        slab = np.zeros((3, 3), dtype=bool)
+        slab[np.ix_([0, 1], [0, 2])] = True
+        assert rule.matches(slab)
+        slab[1, 2] = False
+        assert not rule.matches(slab)
+
+    def test_weight_grows_with_volume(self):
+        small = ClassRule(0b1, 0b1, "A", 0.8, 0.5)
+        big = ClassRule(0b111, 0b1111, "A", 0.8, 0.5)
+        assert big.weight() > small.weight()
+
+    def test_format(self, paper_ds):
+        rule = ClassRule(0b011, 0b100, "sick", 0.75, 0.25)
+        text = rule.format(paper_ds)
+        assert "h1h2 x c3 => 'sick'" in text
+        plain = rule.format()
+        assert "h1h2 x c3" in plain
+
+    def test_repr_states(self, rng):
+        clf = FCCClassifier(Thresholds(1, 1, 1))
+        assert "unfitted" in repr(clf)
+        dataset, labels = two_class_dataset(rng, n_per_class=4)
+        clf = FCCClassifier(Thresholds(2, 3, 3)).fit(dataset, labels)
+        assert "rules" in repr(clf)

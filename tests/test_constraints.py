@@ -1,0 +1,95 @@
+"""Unit tests for Thresholds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import Thresholds
+from repro.core.cube import Cube
+
+
+class TestValidation:
+    def test_defaults(self):
+        th = Thresholds()
+        assert th.as_tuple() == (1, 1, 1)
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError, match="min_h"):
+            Thresholds(0, 1, 1)
+        with pytest.raises(ValueError, match="min_r"):
+            Thresholds(1, 0, 1)
+        with pytest.raises(ValueError, match="min_c"):
+            Thresholds(1, 1, 0)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            Thresholds(-3, 1, 1)
+
+    def test_non_int_raises(self):
+        with pytest.raises(TypeError):
+            Thresholds(1.5, 1, 1)  # type: ignore[arg-type]
+
+    def test_frozen(self):
+        th = Thresholds(2, 2, 2)
+        with pytest.raises(AttributeError):
+            th.min_h = 3  # type: ignore[misc]
+
+
+class TestSatisfiedBy:
+    def test_exact_boundary(self):
+        th = Thresholds(2, 3, 4)
+        cube = Cube.from_indices(range(2), range(3), range(4))
+        assert th.satisfied_by(cube)
+
+    def test_one_axis_below(self):
+        th = Thresholds(2, 3, 4)
+        assert not th.satisfied_by(Cube.from_indices(range(1), range(3), range(4)))
+        assert not th.satisfied_by(Cube.from_indices(range(2), range(2), range(4)))
+        assert not th.satisfied_by(Cube.from_indices(range(2), range(3), range(3)))
+
+    def test_above(self):
+        th = Thresholds(1, 1, 1)
+        assert th.satisfied_by(Cube.from_indices(range(5), range(5), range(5)))
+
+
+class TestPermute:
+    def test_identity(self):
+        th = Thresholds(2, 3, 4)
+        assert th.permute((0, 1, 2)) == th
+
+    def test_swap_first_two(self):
+        th = Thresholds(2, 3, 4)
+        assert th.permute((1, 0, 2)) == Thresholds(3, 2, 4)
+
+    def test_rotate(self):
+        th = Thresholds(2, 3, 4)
+        assert th.permute((2, 0, 1)) == Thresholds(4, 2, 3)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="permutation"):
+            Thresholds(1, 1, 1).permute((0, 0, 1))
+
+    def test_permute_matches_transpose_semantics(self, paper_ds):
+        # Thresholds permuted with the same order as a dataset transpose
+        # must keep each threshold attached to its original axis data.
+        th = Thresholds(3, 4, 5)
+        order = (2, 0, 1)
+        transposed = paper_ds.transpose(order)
+        permuted = th.permute(order)
+        assert permuted.min_h == 5 and transposed.n_heights == 5
+        assert permuted.min_r == 3 and transposed.n_rows == 3
+        assert permuted.min_c == 4 and transposed.n_columns == 4
+
+
+class TestFeasibility:
+    def test_feasible(self):
+        assert Thresholds(2, 2, 2).feasible_for_shape((2, 2, 2))
+
+    def test_infeasible_each_axis(self):
+        th = Thresholds(3, 3, 3)
+        assert not th.feasible_for_shape((2, 5, 5))
+        assert not th.feasible_for_shape((5, 2, 5))
+        assert not th.feasible_for_shape((5, 5, 2))
+
+    def test_str(self):
+        assert str(Thresholds(2, 3, 4)) == "minH=2, minR=3, minC=4"

@@ -1,0 +1,91 @@
+"""Tests for greedy-cover pattern summarization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.coverage import greedy_cover
+from repro.api import mine
+from repro.core.constraints import Thresholds
+from repro.core.dataset import Dataset3D
+from repro.core.result import MiningResult
+from repro.datasets import paper_example, planted_tensor
+
+
+@pytest.fixture
+def mined_paper(paper_ds, paper_thresholds):
+    return mine(paper_ds, paper_thresholds)
+
+
+class TestGreedyCover:
+    def test_first_pick_is_biggest_gain(self, paper_ds, mined_paper):
+        steps = greedy_cover(paper_ds, mined_paper)
+        gains = [step.new_cells for step in steps]
+        assert gains[0] == max(gains)
+
+    def test_marginal_gains_nonincreasing(self, paper_ds, mined_paper):
+        steps = greedy_cover(paper_ds, mined_paper)
+        gains = [step.new_cells for step in steps]
+        assert all(a >= b for a, b in zip(gains, gains[1:]))
+
+    def test_cumulative_bookkeeping(self, paper_ds, mined_paper):
+        steps = greedy_cover(paper_ds, mined_paper)
+        running = 0
+        for step in steps:
+            running += step.new_cells
+            assert step.cumulative_cells == running
+            assert step.cumulative_fraction == pytest.approx(
+                running / paper_ds.count_ones()
+            )
+
+    def test_max_cubes_budget(self, paper_ds, mined_paper):
+        steps = greedy_cover(paper_ds, mined_paper, max_cubes=2)
+        assert len(steps) <= 2
+
+    def test_target_fraction_stops_early(self, paper_ds, mined_paper):
+        steps = greedy_cover(paper_ds, mined_paper, target_fraction=0.3)
+        assert steps[-1].cumulative_fraction >= 0.3
+        if len(steps) > 1:
+            assert steps[-2].cumulative_fraction < 0.3
+
+    def test_full_cover_on_all_ones(self):
+        ds = Dataset3D(np.ones((2, 2, 2), dtype=bool))
+        result = mine(ds, Thresholds(1, 1, 1))
+        steps = greedy_cover(ds, result)
+        assert len(steps) == 1
+        assert steps[0].cumulative_fraction == 1.0
+
+    def test_planted_blocks_found_early(self):
+        planted = planted_tensor(
+            (5, 8, 25), n_blocks=3, block_shape=(2, 3, 5),
+            background_density=0.03, seed=6,
+        )
+        result = mine(planted.dataset, Thresholds(2, 2, 2))
+        steps = greedy_cover(planted.dataset, result, max_cubes=3)
+        covered_blocks = sum(
+            1
+            for block in planted.planted
+            if any(step.cube.contains(block) for step in steps)
+        )
+        assert covered_blocks >= 2
+
+    def test_empty_result(self, paper_ds):
+        assert greedy_cover(paper_ds, MiningResult(cubes=[])) == []
+
+    def test_all_zero_dataset(self):
+        ds = Dataset3D(np.zeros((2, 2, 2), dtype=bool))
+        assert greedy_cover(ds, MiningResult(cubes=[])) == []
+
+    def test_invalid_parameters(self, paper_ds, mined_paper):
+        with pytest.raises(ValueError, match="target_fraction"):
+            greedy_cover(paper_ds, mined_paper, target_fraction=0.0)
+        with pytest.raises(ValueError, match="max_cubes"):
+            greedy_cover(paper_ds, mined_paper, max_cubes=0)
+
+    def test_stops_when_no_gain(self, paper_ds, mined_paper):
+        # With target 1.0, the loop must stop once remaining cubes add
+        # nothing, even if not everything is coverable.
+        steps = greedy_cover(paper_ds, mined_paper, target_fraction=1.0)
+        assert steps[-1].new_cells > 0
+        assert len(steps) <= len(mined_paper)

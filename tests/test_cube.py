@@ -1,0 +1,103 @@
+"""Unit tests for the Cube value object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cube import Cube
+
+
+class TestConstruction:
+    def test_from_indices(self):
+        cube = Cube.from_indices([0, 2], [1], [0, 1, 4])
+        assert cube.heights == 0b101
+        assert cube.rows == 0b10
+        assert cube.columns == 0b10011
+
+    def test_negative_mask_raises(self):
+        with pytest.raises(ValueError):
+            Cube(-1, 0, 0)
+
+    def test_from_labels(self, paper_ds):
+        cube = Cube.from_labels(paper_ds, "h1 h3", "r1 r2 r3", "c1 c2 c3")
+        assert cube.height_indices() == (0, 2)
+        assert cube.row_indices() == (0, 1, 2)
+        assert cube.column_indices() == (0, 1, 2)
+
+    def test_from_labels_list_form(self, paper_ds):
+        cube = Cube.from_labels(paper_ds, ["h2"], ["r4"], ["c5"])
+        assert (cube.heights, cube.rows, cube.columns) == (0b10, 0b1000, 0b10000)
+
+    def test_from_labels_unknown_raises(self, paper_ds):
+        with pytest.raises(KeyError, match="h9"):
+            Cube.from_labels(paper_ds, "h9", "r1", "c1")
+
+
+class TestSupports:
+    def test_supports(self):
+        cube = Cube.from_indices([0, 1, 2], [0, 1], [3])
+        assert (cube.h_support, cube.r_support, cube.c_support) == (3, 2, 1)
+
+    def test_volume(self):
+        cube = Cube.from_indices([0, 1], [0, 1, 2], [0, 1, 2, 3])
+        assert cube.volume == 24
+
+    def test_empty(self):
+        assert Cube(0, 1, 1).is_empty()
+        assert Cube(1, 0, 1).is_empty()
+        assert Cube(1, 1, 0).is_empty()
+        assert not Cube(1, 1, 1).is_empty()
+
+
+class TestRelations:
+    def test_contains_self(self):
+        cube = Cube.from_indices([0], [1], [2])
+        assert cube.contains(cube)
+
+    def test_contains_subcube(self):
+        big = Cube.from_indices([0, 1], [0, 1], [0, 1])
+        small = Cube.from_indices([0], [1], [0, 1])
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_incomparable(self):
+        a = Cube.from_indices([0], [0], [0])
+        b = Cube.from_indices([1], [0], [0])
+        assert not a.contains(b)
+        assert not b.contains(a)
+
+
+class TestOrderingAndEquality:
+    def test_frozen_and_hashable(self):
+        a = Cube(1, 2, 3)
+        b = Cube(1, 2, 3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+        with pytest.raises(AttributeError):
+            a.heights = 5  # type: ignore[misc]
+
+    def test_sort_key_total_order(self):
+        cubes = [Cube(2, 1, 1), Cube(1, 2, 1), Cube(1, 1, 2), Cube(1, 1, 1)]
+        ordered = sorted(cubes, key=Cube.sort_key)
+        assert ordered[0] == Cube(1, 1, 1)
+        assert ordered[-1] == Cube(2, 1, 1)
+
+
+class TestFormatting:
+    def test_format_with_dataset(self, paper_ds):
+        cube = Cube.from_labels(paper_ds, "h1 h3", "r1 r2 r3", "c1 c2 c3")
+        assert cube.format(paper_ds) == "h1h3 : r1r2r3 : c1c2c3, 2:3:3"
+
+    def test_format_without_dataset_uses_one_based(self):
+        cube = Cube.from_indices([0], [1], [2])
+        assert cube.format() == "h1 : r2 : c3, 1:1:1"
+
+    def test_format_without_supports(self):
+        cube = Cube.from_indices([0], [0], [0])
+        assert cube.format(with_supports=False) == "h1 : r1 : c1"
+
+    def test_str_and_repr(self):
+        cube = Cube.from_indices([1], [2], [3])
+        assert "h2" in str(cube)
+        assert "rows=(2,)" in repr(cube)

@@ -1,0 +1,97 @@
+"""Unit tests for cutter construction and ordering heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import Dataset3D
+from repro.cubeminer.cutter import (
+    Cutter,
+    HeightOrder,
+    build_cutters,
+    height_permutation,
+)
+
+
+class TestCutter:
+    def test_atom_masks(self):
+        cutter = Cutter(height=2, row=5, columns=0b1010)
+        assert cutter.left_mask == 0b100
+        assert cutter.middle_mask == 0b100000
+
+    def test_format_without_dataset(self):
+        cutter = Cutter(height=0, row=1, columns=0b11000)
+        assert cutter.format() == "h1, r2, c4c5"
+
+    def test_format_with_dataset(self, paper_ds):
+        cutter = Cutter(height=1, row=2, columns=0b10000)
+        assert cutter.format(paper_ds) == "h2, r3, c5"
+
+    def test_str(self):
+        assert str(Cutter(0, 0, 1)) == "h1, r1, c1"
+
+
+class TestBuildCutters:
+    def test_all_ones_has_no_cutters(self):
+        ds = Dataset3D(np.ones((2, 3, 4), dtype=bool))
+        assert build_cutters(ds) == []
+
+    def test_all_zeros_has_full_cutters(self):
+        ds = Dataset3D(np.zeros((2, 3, 4), dtype=bool))
+        cutters = build_cutters(ds)
+        assert len(cutters) == 2 * 3
+        assert all(c.columns == 0b1111 for c in cutters)
+
+    def test_one_cutter_per_zero_row(self, paper_ds):
+        cutters = build_cutters(paper_ds)
+        pairs = {(c.height, c.row) for c in cutters}
+        assert len(cutters) == len(pairs)
+        for cutter in cutters:
+            assert paper_ds.zeros_mask(cutter.height, cutter.row) == cutter.columns
+
+    def test_original_order_sorted_by_height_then_row(self, paper_ds):
+        cutters = build_cutters(paper_ds, HeightOrder.ORIGINAL)
+        keys = [(c.height, c.row) for c in cutters]
+        assert keys == sorted(keys)
+
+
+class TestHeightPermutation:
+    @pytest.fixture
+    def skewed(self):
+        # Slice zero counts: h1 -> 1 zero, h2 -> 4 zeros, h3 -> 2 zeros.
+        data = np.ones((3, 2, 2), dtype=bool)
+        data[0, 0, 0] = False
+        data[1] = False
+        data[2, 0, 0] = data[2, 1, 1] = False
+        return Dataset3D(data)
+
+    def test_original(self, skewed):
+        assert height_permutation(skewed, HeightOrder.ORIGINAL) == [0, 1, 2]
+
+    def test_zero_decreasing(self, skewed):
+        assert height_permutation(skewed, HeightOrder.ZERO_DECREASING) == [1, 2, 0]
+
+    def test_zero_increasing(self, skewed):
+        assert height_permutation(skewed, HeightOrder.ZERO_INCREASING) == [0, 2, 1]
+
+    def test_ties_keep_original_order(self):
+        ds = Dataset3D(np.ones((3, 1, 2), dtype=bool))
+        for order in HeightOrder:
+            assert height_permutation(ds, order) == [0, 1, 2]
+
+    def test_cutter_order_follows_permutation(self, skewed):
+        cutters = build_cutters(skewed, HeightOrder.ZERO_DECREASING)
+        heights_seen = []
+        for cutter in cutters:
+            if cutter.height not in heights_seen:
+                heights_seen.append(cutter.height)
+        assert heights_seen == [1, 2, 0]
+
+    def test_rows_ascend_within_height(self, skewed):
+        cutters = build_cutters(skewed, HeightOrder.ZERO_DECREASING)
+        by_height: dict[int, list[int]] = {}
+        for cutter in cutters:
+            by_height.setdefault(cutter.height, []).append(cutter.row)
+        for rows in by_height.values():
+            assert rows == sorted(rows)

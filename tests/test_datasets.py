@@ -1,0 +1,154 @@
+"""Tests for dataset generators (synthetic + microarray substitutes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.closure import is_all_ones
+from repro.core.constraints import Thresholds
+from repro.cubeminer import cubeminer_mine
+from repro.datasets import (
+    binarize_by_row_mean,
+    cdc15_like,
+    elutriation_like,
+    paper_example,
+    planted_tensor,
+    random_tensor,
+    synthetic_expression,
+    tiny_example,
+)
+
+
+class TestExamples:
+    def test_paper_example_shape(self):
+        assert paper_example().shape == (3, 4, 5)
+
+    def test_tiny_example_all_ones(self):
+        assert tiny_example().density == 1.0
+
+
+class TestRandomTensor:
+    def test_shape_and_labels(self):
+        ds = random_tensor((3, 4, 5), 0.5, seed=0)
+        assert ds.shape == (3, 4, 5)
+        assert ds.height_labels == ("h1", "h2", "h3")
+
+    def test_density_statistically_close(self):
+        ds = random_tensor((10, 10, 100), 0.3, seed=1)
+        assert abs(ds.density - 0.3) < 0.03
+
+    def test_extreme_densities(self):
+        assert random_tensor((2, 2, 2), 0.0, seed=0).density == 0.0
+        assert random_tensor((2, 2, 2), 1.0, seed=0).density == 1.0
+
+    def test_deterministic_with_seed(self):
+        assert random_tensor((3, 3, 3), 0.5, seed=7) == random_tensor(
+            (3, 3, 3), 0.5, seed=7
+        )
+
+    def test_different_seeds_differ(self):
+        assert random_tensor((5, 5, 5), 0.5, seed=1) != random_tensor(
+            (5, 5, 5), 0.5, seed=2
+        )
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError, match="density"):
+            random_tensor((2, 2, 2), 1.5)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            random_tensor((2, -1, 2), 0.5)
+
+
+class TestPlantedTensor:
+    def test_blocks_are_all_ones(self):
+        planted = planted_tensor((5, 8, 20), n_blocks=4, seed=3)
+        for cube in planted.planted:
+            assert is_all_ones(planted.dataset, cube)
+
+    def test_planted_blocks_recovered_by_mining(self):
+        planted = planted_tensor(
+            (5, 8, 20), n_blocks=2, block_shape=(2, 3, 4),
+            background_density=0.05, seed=4,
+        )
+        result = cubeminer_mine(planted.dataset, Thresholds(2, 2, 2))
+        for block in planted.planted:
+            assert any(cube.contains(block) for cube in result), block
+
+    def test_block_too_large_raises(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            planted_tensor((2, 2, 2), block_shape=(3, 1, 1))
+
+    def test_block_count(self):
+        planted = planted_tensor((4, 6, 10), n_blocks=5, seed=0)
+        assert len(planted.planted) == 5
+
+
+class TestSyntheticExpression:
+    def test_shape(self):
+        values = synthetic_expression(6, 4, 50, seed=0)
+        assert values.shape == (6, 4, 50)
+
+    def test_positive_values(self):
+        values = synthetic_expression(4, 3, 30, seed=1)
+        assert (values > 0).all()
+
+    def test_modules_raise_expression(self):
+        flat = synthetic_expression(5, 4, 100, n_modules=0, seed=2)
+        modular = synthetic_expression(5, 4, 100, n_modules=10,
+                                       module_strength=5.0, seed=2)
+        assert modular.mean() > flat.mean()
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            synthetic_expression(0, 3, 10)
+
+
+class TestBinarization:
+    def test_paper_formula_exact(self):
+        """Cell is 1 iff it exceeds the mean of its (k, i) gene row."""
+        values = np.array([[[1.0, 2.0, 3.0], [5.0, 5.0, 5.0]]])
+        ds = binarize_by_row_mean(values)
+        # Row (0,0): mean 2.0 -> only the 3.0 cell is 1.
+        assert not ds.cell(0, 0, 0)
+        assert not ds.cell(0, 0, 1)
+        assert ds.cell(0, 0, 2)
+        # Row (0,1): constant row -> strictly-greater test gives all 0.
+        assert not ds.cell(0, 1, 0)
+
+    def test_rejects_rank_2(self):
+        with pytest.raises(ValueError, match="rank-3"):
+            binarize_by_row_mean(np.zeros((2, 2)))
+
+    def test_output_density_moderate(self):
+        values = synthetic_expression(8, 5, 200, seed=3)
+        ds = binarize_by_row_mean(values)
+        assert 0.05 < ds.density < 0.95
+
+
+class TestMicroarraySubstitutes:
+    def test_elutriation_shape_matches_paper(self):
+        ds = elutriation_like(120)
+        assert ds.shape == (14, 9, 120)
+        assert ds.height_labels[0] == "t0"
+        assert ds.height_labels[-1] == "t390"
+
+    def test_cdc15_shape_matches_paper(self):
+        ds = cdc15_like(100)
+        assert ds.shape == (19, 9, 100)
+        assert ds.height_labels[0] == "t70"
+        assert ds.height_labels[-1] == "t250"
+
+    def test_labels_follow_domains(self):
+        ds = elutriation_like(50)
+        assert ds.row_labels == tuple(f"s{i}" for i in range(1, 10))
+        assert ds.column_labels[0] == "g1"
+
+    def test_deterministic(self):
+        assert elutriation_like(60, seed=5) == elutriation_like(60, seed=5)
+
+    def test_minable(self):
+        ds = elutriation_like(100, seed=0)
+        result = cubeminer_mine(ds, Thresholds(3, 3, 15))
+        assert all(Thresholds(3, 3, 15).satisfied_by(c) for c in result)

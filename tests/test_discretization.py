@@ -1,0 +1,106 @@
+"""Tests for the real-valued binarization schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    binarize_by_quantile,
+    binarize_by_row_mean,
+    binarize_by_zscore,
+    binarize_global_threshold,
+    binarize_top_k,
+)
+
+
+@pytest.fixture
+def values(rng):
+    return rng.normal(loc=5.0, scale=2.0, size=(4, 3, 20))
+
+
+class TestQuantile:
+    def test_fraction_of_ones(self, values):
+        ds = binarize_by_quantile(values, q=0.7)
+        # Roughly the top 30% of each row is marked.
+        assert abs(ds.density - 0.3) < 0.1
+
+    def test_monotone_in_q(self, values):
+        low = binarize_by_quantile(values, q=0.3)
+        high = binarize_by_quantile(values, q=0.8)
+        assert low.count_ones() > high.count_ones()
+        # Every high-threshold one is also a low-threshold one.
+        assert not (high.data & ~low.data).any()
+
+    def test_invalid_q(self, values):
+        with pytest.raises(ValueError, match="q must"):
+            binarize_by_quantile(values, q=0.0)
+        with pytest.raises(ValueError, match="q must"):
+            binarize_by_quantile(values, q=1.0)
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError, match="rank-3"):
+            binarize_by_quantile(np.zeros((2, 2)))
+
+
+class TestZScore:
+    def test_z_zero_equals_row_mean_rule(self, values):
+        assert binarize_by_zscore(values, z=0.0) == binarize_by_row_mean(values)
+
+    def test_stricter_with_larger_z(self, values):
+        loose = binarize_by_zscore(values, z=0.5)
+        strict = binarize_by_zscore(values, z=2.0)
+        assert strict.count_ones() < loose.count_ones()
+        assert not (strict.data & ~loose.data).any()
+
+    def test_constant_rows_all_zero(self):
+        values = np.full((2, 2, 5), 3.0)
+        ds = binarize_by_zscore(values, z=1.0)
+        assert ds.count_ones() == 0
+
+    def test_negative_z_rejected(self, values):
+        with pytest.raises(ValueError, match="z must"):
+            binarize_by_zscore(values, z=-1.0)
+
+
+class TestTopK:
+    def test_exact_count_per_row(self, values):
+        k = 4
+        ds = binarize_top_k(values, k=k)
+        per_row = ds.data.sum(axis=2)
+        assert (per_row == k).all()
+
+    def test_marks_the_largest(self, rng):
+        values = np.zeros((1, 1, 6))
+        values[0, 0] = [1.0, 9.0, 2.0, 8.0, 3.0, 7.0]
+        ds = binarize_top_k(values, k=3)
+        assert list(np.flatnonzero(ds.data[0, 0])) == [1, 3, 5]
+
+    def test_k_bounds(self, values):
+        with pytest.raises(ValueError, match="k must"):
+            binarize_top_k(values, k=0)
+        with pytest.raises(ValueError, match="k must"):
+            binarize_top_k(values, k=values.shape[2] + 1)
+
+    def test_k_equals_m_all_ones(self, values):
+        ds = binarize_top_k(values, k=values.shape[2])
+        assert ds.density == 1.0
+
+
+class TestGlobalThreshold:
+    def test_simple(self):
+        values = np.array([[[1.0, 5.0, 3.0]]])
+        ds = binarize_global_threshold(values, threshold=2.5)
+        assert list(ds.data[0, 0]) == [False, True, True]
+
+    def test_extremes(self, values):
+        assert binarize_global_threshold(values, values.max()).count_ones() == 0
+        below_min = float(values.min()) - 1.0
+        assert binarize_global_threshold(values, below_min).density == 1.0
+
+    def test_labels_pass_through(self):
+        values = np.ones((1, 1, 2))
+        ds = binarize_global_threshold(
+            values, 0.5, column_labels=["gA", "gB"]
+        )
+        assert ds.column_labels == ("gA", "gB")

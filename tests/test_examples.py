@@ -1,0 +1,59 @@
+"""Integration tests: every shipped example must run to completion.
+
+The examples double as end-to-end tests of the public API — each one
+builds data, mines, and post-processes through a different subset of
+the library, with internal assertions (algorithm agreement, classifier
+accuracy, incremental == re-mine) that fail loudly on regression.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def _load_module(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "mining_tree",
+        "market_basket",
+        "hypercube_4d",
+        "gene_classification",
+        "streaming_updates",
+    ],
+)
+def test_example_runs(name, capsys):
+    module = _load_module(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"
+
+
+def test_microarray_example_scaled_down(capsys):
+    module = _load_module("microarray_analysis")
+    module.main(120)  # fewer genes than the script's default
+    out = capsys.readouterr().out
+    assert "FCCs" in out
+
+
+def test_parallel_example(capsys):
+    module = _load_module("parallel_mining")
+    module.main()
+    out = capsys.readouterr().out
+    assert "best processor count" in out

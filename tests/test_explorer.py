@@ -1,0 +1,102 @@
+"""Tests for threshold exploration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import find_min_c_for_budget, threshold_profile
+from repro.api import mine
+from repro.core.constraints import Thresholds
+from repro.datasets import paper_example, planted_tensor
+
+
+@pytest.fixture
+def planted_ds():
+    return planted_tensor(
+        (5, 8, 24), n_blocks=4, block_shape=(2, 3, 6),
+        background_density=0.15, seed=8,
+    ).dataset
+
+
+class TestThresholdProfile:
+    def test_counts_match_direct_mining(self, paper_ds):
+        points = threshold_profile(
+            paper_ds, Thresholds(2, 2, 2), axis="min_c", values=[2, 3, 4]
+        )
+        for point in points:
+            assert point.n_cubes == len(mine(paper_ds, point.thresholds))
+
+    def test_counts_anti_monotone(self, planted_ds):
+        points = threshold_profile(
+            planted_ds, Thresholds(2, 2, 2), axis="min_c", values=[2, 4, 6, 8]
+        )
+        counts = [p.n_cubes for p in points]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_other_axes_kept(self, paper_ds):
+        base = Thresholds(2, 3, 2)
+        points = threshold_profile(
+            paper_ds, base, axis="min_h", values=[2, 3]
+        )
+        assert all(p.thresholds.min_r == 3 for p in points)
+        assert [p.thresholds.min_h for p in points] == [2, 3]
+
+    def test_invalid_axis(self, paper_ds):
+        with pytest.raises(ValueError, match="axis"):
+            threshold_profile(
+                paper_ds, Thresholds(1, 1, 1), axis="min_x", values=[1]
+            )
+
+    def test_empty_values(self, paper_ds):
+        with pytest.raises(ValueError, match="at least one"):
+            threshold_profile(
+                paper_ds, Thresholds(1, 1, 1), axis="min_c", values=[]
+            )
+
+
+class TestFindMinC:
+    def test_finds_smallest_fitting_minc(self, planted_ds):
+        base = Thresholds(2, 2, 1)
+        budget = 10
+        min_c, n_cubes = find_min_c_for_budget(
+            planted_ds, base, max_cubes=budget
+        )
+        assert n_cubes <= budget
+        if min_c > base.min_c:
+            # One step looser must overflow the budget (minimality).
+            looser = len(
+                mine(planted_ds, Thresholds(base.min_h, base.min_r, min_c - 1))
+            )
+            assert looser > budget
+
+    def test_base_already_fits(self, paper_ds):
+        min_c, n_cubes = find_min_c_for_budget(
+            paper_ds, Thresholds(2, 2, 2), max_cubes=100
+        )
+        assert min_c == 2
+        assert n_cubes == 5
+
+    def test_budget_zero(self, paper_ds):
+        min_c, n_cubes = find_min_c_for_budget(
+            paper_ds, Thresholds(2, 2, 2), max_cubes=0
+        )
+        assert n_cubes == 0
+
+    def test_unreachable_budget_returns_endpoint(self):
+        # All-ones tensor: exactly 1 FCC at every minC, so budget 0 is
+        # unreachable; the endpoint with its over-budget count returns.
+        from repro.core.dataset import Dataset3D
+        import numpy as np
+
+        ds = Dataset3D(np.ones((2, 2, 4), dtype=bool))
+        min_c, n_cubes = find_min_c_for_budget(
+            ds, Thresholds(1, 1, 1), max_cubes=0
+        )
+        assert min_c == 4
+        assert n_cubes == 1
+
+    def test_negative_budget(self, paper_ds):
+        with pytest.raises(ValueError, match="max_cubes"):
+            find_min_c_for_budget(
+                paper_ds, Thresholds(1, 1, 1), max_cubes=-1
+            )

@@ -1,0 +1,136 @@
+"""Failure injection: malformed inputs and degenerate configurations.
+
+Every public entry point must fail loudly on bad input (never silently
+produce wrong answers) and behave sensibly on degenerate-but-valid
+input (empty axes, extreme densities, maximal thresholds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import mine
+from repro.core.constraints import Thresholds
+from repro.core.cube import Cube
+from repro.core.dataset import Dataset3D
+from repro.cubeminer import cubeminer_mine
+from repro.fcp import BinaryMatrix, dminer_mine
+from repro.rsm import rsm_mine
+
+
+class TestMalformedDatasets:
+    def test_ragged_input(self):
+        with pytest.raises((ValueError, Exception)):
+            Dataset3D([[[1, 0], [1]], [[0, 1], [1, 0]]])
+
+    def test_string_cells(self):
+        with pytest.raises(ValueError):
+            Dataset3D(np.array([[["a", "b"]]]))
+
+    def test_nan_cells(self):
+        with pytest.raises(ValueError):
+            Dataset3D(np.full((1, 1, 2), np.nan))
+
+    def test_value_two(self):
+        with pytest.raises(ValueError, match="0/1"):
+            Dataset3D([[[0, 2]]])
+
+    def test_truncated_npz(self, tmp_path):
+        bad = tmp_path / "broken.npz"
+        bad.write_bytes(b"not an npz file at all")
+        with pytest.raises(Exception):
+            Dataset3D.load_npz(bad)
+
+
+class TestDegenerateShapes:
+    @pytest.mark.parametrize("shape", [(0, 2, 2), (2, 0, 2), (2, 2, 0)])
+    def test_empty_axis_mines_nothing(self, shape):
+        ds = Dataset3D(np.ones(shape, dtype=bool))
+        assert len(cubeminer_mine(ds, Thresholds(1, 1, 1))) == 0
+        assert len(rsm_mine(ds, Thresholds(1, 1, 1))) == 0
+
+    def test_1x1x1_one(self):
+        ds = Dataset3D([[[1]]])
+        result = cubeminer_mine(ds, Thresholds(1, 1, 1))
+        assert result.cubes == [Cube(1, 1, 1)]
+
+    def test_long_thin_tensor(self):
+        ds = Dataset3D(np.ones((1, 1, 500), dtype=bool))
+        result = cubeminer_mine(ds, Thresholds(1, 1, 500))
+        assert len(result) == 1
+        assert result.cubes[0].c_support == 500
+
+    def test_tall_thin_tensor(self):
+        ds = Dataset3D(np.ones((50, 1, 1), dtype=bool))
+        result = rsm_mine(ds, Thresholds(50, 1, 1))
+        assert len(result) == 1
+
+
+class TestDegenerateThresholds:
+    def test_maximal_thresholds_all_ones(self):
+        ds = Dataset3D(np.ones((3, 3, 3), dtype=bool))
+        assert len(mine(ds, Thresholds(3, 3, 3))) == 1
+
+    def test_maximal_thresholds_one_zero_cell(self):
+        data = np.ones((3, 3, 3), dtype=bool)
+        data[0, 0, 0] = False
+        ds = Dataset3D(data)
+        assert len(mine(ds, Thresholds(3, 3, 3))) == 0
+
+    def test_thresholds_above_shape(self, paper_ds):
+        for th in (Thresholds(4, 1, 1), Thresholds(1, 5, 1), Thresholds(1, 1, 6)):
+            assert len(mine(paper_ds, th)) == 0
+            assert len(rsm_mine(paper_ds, th)) == 0
+
+
+class TestSparseDenseExtremes:
+    def test_single_one_in_sea_of_zeros(self):
+        data = np.zeros((4, 4, 4), dtype=bool)
+        data[2, 1, 3] = True
+        ds = Dataset3D(data)
+        result = mine(ds, Thresholds(1, 1, 1))
+        assert result.cubes == [Cube(1 << 2, 1 << 1, 1 << 3)]
+
+    def test_single_zero_in_sea_of_ones(self):
+        data = np.ones((3, 3, 3), dtype=bool)
+        data[0, 0, 0] = False
+        ds = Dataset3D(data)
+        result = mine(ds, Thresholds(1, 1, 1))
+        ref = mine(ds, Thresholds(1, 1, 1), algorithm="reference")
+        assert result.same_cubes(ref)
+        assert len(result) == 3  # drop the height, the row, or the column
+
+    def test_checkerboard(self):
+        idx = np.indices((4, 4, 4)).sum(axis=0)
+        ds = Dataset3D(idx % 2 == 0)
+        result = mine(ds, Thresholds(2, 2, 2))
+        ref = mine(ds, Thresholds(2, 2, 2), algorithm="reference")
+        assert result.same_cubes(ref)
+
+
+class Test2DMalformed:
+    def test_dminer_invalid_thresholds(self):
+        matrix = BinaryMatrix.from_array([[1, 0], [0, 1]])
+        with pytest.raises(ValueError):
+            dminer_mine(matrix, -1, 1)
+
+    def test_matrix_from_ragged(self):
+        with pytest.raises((ValueError, Exception)):
+            BinaryMatrix.from_array([[1, 0], [1]])
+
+    def test_zero_column_matrix(self):
+        matrix = BinaryMatrix.from_row_masks([0, 0], 0)
+        assert dminer_mine(matrix, 1, 1) == []
+
+
+class TestAPIValidation:
+    def test_mine_rejects_unknown_kwarg_combination(self, paper_ds):
+        # CubeMiner does not accept base_axis; the error must surface.
+        with pytest.raises(TypeError):
+            mine(paper_ds, Thresholds(1, 1, 1), base_axis="row")
+
+    def test_reference_guard_propagates(self):
+        ds = Dataset3D(np.ones((20, 20, 2), dtype=bool))
+        with pytest.raises(ValueError, match="too large"):
+            mine(ds, Thresholds(1, 1, 1), algorithm="reference")

@@ -1,0 +1,139 @@
+"""Tests for internal helpers not covered through the main paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.permute import (
+    inverse_order,
+    map_cube_from_transposed,
+    order_moving_axis_first,
+)
+from repro.core.cube import Cube
+from repro.parallel.executor import _chunked
+
+
+class TestPermuteHelpers:
+    def test_inverse_order_round_trips(self):
+        for order in [(0, 1, 2), (1, 0, 2), (2, 0, 1), (0, 2, 1), (2, 1, 0), (1, 2, 0)]:
+            inv = inverse_order(order)
+            for old_axis in range(3):
+                assert order[inv[old_axis]] == old_axis
+
+    def test_inverse_order_invalid(self):
+        with pytest.raises(ValueError, match="permutation"):
+            inverse_order((0, 0, 2))
+
+    def test_map_cube_identity(self):
+        cube = Cube(0b1, 0b11, 0b111)
+        assert map_cube_from_transposed(cube, (0, 1, 2)) == cube
+
+    def test_map_cube_swap(self):
+        # Transposed dataset had (heights, rows) swapped; map back.
+        cube = Cube(0b1, 0b11, 0b111)
+        mapped = map_cube_from_transposed(cube, (1, 0, 2))
+        assert mapped == Cube(0b11, 0b1, 0b111)
+
+    def test_map_cube_rotation(self):
+        cube = Cube(0b1, 0b10, 0b100)
+        # order (2,0,1): new0=old2, new1=old0, new2=old1.
+        mapped = map_cube_from_transposed(cube, (2, 0, 1))
+        assert mapped == Cube(0b10, 0b100, 0b1)
+
+    def test_order_moving_axis_first(self):
+        assert order_moving_axis_first(0) == (0, 1, 2)
+        assert order_moving_axis_first(1) == (1, 0, 2)
+        assert order_moving_axis_first(2) == (2, 0, 1)
+        with pytest.raises(ValueError):
+            order_moving_axis_first(3)
+
+    def test_transpose_then_map_is_identity(self, paper_ds, rng):
+        """End-to-end: a cube of the transposed dataset, mapped back,
+        addresses the same cells of the original."""
+        for order in [(1, 0, 2), (2, 0, 1), (2, 1, 0)]:
+            transposed = paper_ds.transpose(order)
+            cube_t = Cube.from_indices([0], [1], [2])
+            cube_o = map_cube_from_transposed(cube_t, order)
+            value_t = transposed.cell(0, 1, 2)
+            value_o = paper_ds.cell(
+                cube_o.height_indices()[0],
+                cube_o.row_indices()[0],
+                cube_o.column_indices()[0],
+            )
+            assert value_t == value_o
+
+
+class TestChunking:
+    def test_even_split(self):
+        assert _chunked(list(range(6)), 3) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_uneven_split_front_loads(self):
+        chunks = _chunked(list(range(7)), 3)
+        assert chunks == [[0, 1, 2], [3, 4], [5, 6]]
+
+    def test_more_chunks_than_items(self):
+        chunks = _chunked([1, 2], 5)
+        assert chunks == [[1], [2]]
+
+    def test_single_chunk(self):
+        assert _chunked([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_preserves_order_and_content(self):
+        items = list(range(23))
+        chunks = _chunked(items, 4)
+        flattened = [x for chunk in chunks for x in chunk]
+        assert flattened == items
+
+
+class TestCubeMinerStats:
+    def test_total_pruned_sums_all_counters(self):
+        from repro.cubeminer import CubeMinerStats
+
+        stats = CubeMinerStats(
+            pruned_min_h=1,
+            pruned_min_r=2,
+            pruned_min_c=3,
+            pruned_min_volume=4,
+            pruned_left_track=5,
+            pruned_middle_track=6,
+            pruned_height_unclosed=7,
+            pruned_row_unclosed=8,
+        )
+        assert stats.total_pruned() == 36
+
+    def test_as_dict_round_trip(self):
+        from repro.cubeminer import CubeMinerStats
+
+        stats = CubeMinerStats(nodes_visited=5)
+        assert stats.as_dict()["nodes_visited"] == 5
+
+
+class TestRsmTraceGuard:
+    def test_subset_guard(self):
+        from repro.core.constraints import Thresholds
+        from repro.core.dataset import Dataset3D
+        from repro.rsm.trace import trace_rsm
+
+        ds = Dataset3D(np.ones((12, 2, 2), dtype=bool))
+        with pytest.raises(ValueError, match="guard"):
+            trace_rsm(ds, Thresholds(1, 1, 1))
+
+    def test_infeasible_returns_empty(self, paper_ds):
+        from repro.core.constraints import Thresholds
+        from repro.rsm.trace import trace_rsm
+
+        assert trace_rsm(paper_ds, Thresholds(4, 1, 1)) == []
+
+
+class TestFCPMinerBase:
+    def test_repr(self):
+        from repro.fcp import DMiner
+
+        assert repr(DMiner()) == "DMiner()"
+
+    def test_abstract_cannot_instantiate(self):
+        from repro.fcp.base import FCPMiner
+
+        with pytest.raises(TypeError):
+            FCPMiner()  # type: ignore[abstract]

@@ -1,0 +1,198 @@
+"""Tests for the N-dimensional generalization (recursive slice mining)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import mine
+from repro.core.constraints import Thresholds
+from repro.datasets import paper_example
+from repro.ndim import (
+    DatasetND,
+    PatternND,
+    axis_support,
+    is_closed_nd,
+    mine_nd,
+    oracle_mine_nd,
+)
+
+
+class TestDatasetND:
+    def test_construction(self):
+        ds = DatasetND(np.ones((2, 3, 4, 5), dtype=bool))
+        assert ds.ndim == 4
+        assert ds.shape == (2, 3, 4, 5)
+        assert ds.density == 1.0
+
+    def test_rejects_rank_1(self):
+        with pytest.raises(ValueError, match="rank"):
+            DatasetND([1, 0, 1])
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="0/1"):
+            DatasetND(np.full((2, 2), 7))
+
+    def test_default_labels(self):
+        ds = DatasetND(np.zeros((2, 3), dtype=bool))
+        assert ds.axis_labels[0] == ("x0_1", "x0_2")
+        assert ds.axis_labels[1] == ("x1_1", "x1_2", "x1_3")
+
+    def test_custom_labels_validated(self):
+        with pytest.raises(ValueError, match="labels"):
+            DatasetND(np.zeros((2, 2), dtype=bool), axis_labels=[["a"], ["x", "y"]])
+        with pytest.raises(ValueError, match="unique"):
+            DatasetND(
+                np.zeros((2, 2), dtype=bool), axis_labels=[["a", "a"], ["x", "y"]]
+            )
+
+    def test_select(self):
+        ds = DatasetND(np.arange(8).reshape(2, 2, 2) % 2)
+        picked = ds.select(2, [1])
+        assert picked.shape == (2, 2, 1)
+        assert picked.data.all()
+
+    def test_collapse_all(self):
+        data = np.ones((3, 2, 2), dtype=bool)
+        data[1, 0, 0] = False
+        ds = DatasetND(data)
+        collapsed = ds.collapse_all(0, [0, 1])
+        assert collapsed.shape == (2, 2)
+        assert not collapsed[0, 0]
+        assert collapsed[1, 1]
+
+    def test_collapse_empty_raises(self):
+        ds = DatasetND(np.ones((2, 2), dtype=bool))
+        with pytest.raises(ValueError):
+            ds.collapse_all(0, [])
+
+    def test_eq_hash(self):
+        a = DatasetND(np.ones((2, 2), dtype=bool))
+        b = DatasetND(np.ones((2, 2), dtype=bool))
+        assert a == b and hash(a) == hash(b)
+        assert a != "nope"
+
+
+class TestPatternND:
+    def test_normalization(self):
+        p = PatternND(((2, 0, 2), (1,)))
+        assert p.indices == ((0, 2), (1,))
+
+    def test_supports_volume(self):
+        p = PatternND(((0, 1), (0, 1, 2), (4,)))
+        assert p.supports == (2, 3, 1)
+        assert p.volume == 6
+
+    def test_contains(self):
+        big = PatternND(((0, 1), (0, 1)))
+        small = PatternND(((0,), (1,)))
+        assert big.contains(small)
+        assert not small.contains(big)
+        assert not big.contains(PatternND(((0,), (0,), (0,))))  # rank differs
+
+    def test_format_with_labels(self):
+        ds = DatasetND(
+            np.ones((2, 2), dtype=bool),
+            axis_labels=[["t1", "t2"], ["g1", "g2"]],
+        )
+        assert PatternND(((0, 1), (1,))).format(ds) == "t1t2 : g2, 2:1"
+
+    def test_axis_support(self):
+        data = np.array([[1, 1], [1, 0], [1, 1]], dtype=bool)
+        p = PatternND(((0, 2), (0, 1)))
+        assert axis_support(data, 0, p) == (0, 2)
+        assert axis_support(data, 1, p) == (0, 1)
+
+    def test_is_closed_nd(self):
+        data = np.array([[1, 1], [1, 0]], dtype=bool)
+        ds = DatasetND(data)
+        assert is_closed_nd(ds, PatternND(((0,), (0, 1))))
+        assert is_closed_nd(ds, PatternND(((0, 1), (0,))))
+        assert not is_closed_nd(ds, PatternND(((0,), (0,))))  # extendable
+        assert not is_closed_nd(ds, PatternND(((0, 1), (0, 1))))  # has a zero
+
+
+class TestMineND:
+    def test_rank2_reduces_to_fcp(self):
+        data = np.array([[1, 1, 0], [1, 1, 1]], dtype=bool)
+        result = mine_nd(data, (1, 2))
+        assert PatternND(((0, 1), (0, 1))) in result.pattern_set()
+
+    def test_rank3_matches_primary_3d_miner(self):
+        ds3 = paper_example()
+        nd = mine_nd(ds3.data, (2, 2, 2))
+        primary = mine(ds3, Thresholds(2, 2, 2))
+        expected = {
+            (c.height_indices(), c.row_indices(), c.column_indices())
+            for c in primary
+        }
+        assert {p.indices for p in nd} == expected
+
+    def test_rank3_matches_oracle_random(self, rng):
+        for _ in range(15):
+            shape = tuple(int(x) for x in rng.integers(2, 5, size=3))
+            data = rng.random(shape) < rng.uniform(0.3, 0.9)
+            sizes = tuple(int(x) for x in rng.integers(1, 3, size=3))
+            assert mine_nd(data, sizes).pattern_set() == oracle_mine_nd(
+                data, sizes
+            ).pattern_set()
+
+    def test_rank4_matches_oracle_random(self, rng):
+        for _ in range(10):
+            shape = tuple(int(x) for x in rng.integers(2, 4, size=4))
+            data = rng.random(shape) < rng.uniform(0.4, 0.9)
+            sizes = tuple(int(x) for x in rng.integers(1, 3, size=4))
+            assert mine_nd(data, sizes).pattern_set() == oracle_mine_nd(
+                data, sizes
+            ).pattern_set()
+
+    def test_rank5_all_ones(self):
+        data = np.ones((2, 2, 2, 2, 2), dtype=bool)
+        result = mine_nd(data, (1, 1, 1, 1, 1))
+        assert len(result) == 1
+        assert result.patterns[0].volume == 32
+
+    def test_all_results_closed(self, rng):
+        data = rng.random((3, 3, 3, 3)) < 0.7
+        ds = DatasetND(data)
+        for pattern in mine_nd(ds, (1, 1, 1, 1)):
+            assert is_closed_nd(ds, pattern)
+
+    def test_every_pattern_once(self, rng):
+        data = rng.random((3, 4, 4)) < 0.6
+        result = mine_nd(data, (1, 1, 1))
+        assert len(result.patterns) == len(set(result.patterns))
+
+    def test_infeasible_sizes(self):
+        data = np.ones((2, 2, 2), dtype=bool)
+        assert len(mine_nd(data, (3, 1, 1))) == 0
+
+    def test_wrong_size_count(self):
+        with pytest.raises(ValueError, match="per axis"):
+            mine_nd(np.ones((2, 2, 2), dtype=bool), (1, 1))
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            mine_nd(np.ones((2, 2), dtype=bool), (0, 1))
+
+    def test_huge_enumerated_axis_rejected(self):
+        data = np.ones((25, 2, 2), dtype=bool)
+        with pytest.raises(ValueError, match="transpose"):
+            mine_nd(data, (1, 1, 1))
+
+    def test_stats(self):
+        result = mine_nd(paper_example().data, (2, 2, 2))
+        assert result.stats["slices_enumerated"] == 4
+        assert result.stats["postprune_pruned"] == 4
+
+
+class TestOracleND:
+    def test_guard(self):
+        data = np.ones((15, 15, 2), dtype=bool)
+        with pytest.raises(ValueError, match="oracle"):
+            oracle_mine_nd(data, (1, 1, 1))
+
+    def test_rank2(self):
+        data = np.eye(3, dtype=bool)
+        result = oracle_mine_nd(data, (1, 1))
+        assert {p.indices for p in result} == {((i,), (i,)) for i in range(3)}

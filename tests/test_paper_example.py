@@ -1,0 +1,191 @@
+"""Byte-exact reproduction of the paper's worked example.
+
+Pins Table 1 (the dataset), Table 3 (the cutter set), Table 2 (RSM's
+phase outputs) and the five FCCs of Table 2's last column / Figure 1's
+leaves, for every algorithm in the library.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import mine
+from repro.core.bitset import mask_of
+from repro.core.cube import Cube
+from repro.core.reference import reference_mine
+from repro.cubeminer.cutter import HeightOrder, build_cutters
+from repro.datasets import PAPER_EXAMPLE_FCCS, paper_example
+from repro.fcp import FCP_MINERS
+from repro.rsm.trace import trace_rsm
+
+
+@pytest.fixture
+def expected_fccs(paper_ds):
+    return {
+        Cube.from_labels(paper_ds, h, r, c) for h, r, c in PAPER_EXAMPLE_FCCS
+    }
+
+
+class TestTable1:
+    def test_shape(self, paper_ds):
+        assert paper_ds.shape == (3, 4, 5)
+
+    def test_spot_cells(self, paper_ds):
+        # A handful of cells read directly off Table 1.
+        assert paper_ds.cell(0, 0, 4)      # h1, r1, c5 = 1
+        assert not paper_ds.cell(0, 0, 3)  # h1, r1, c4 = 0
+        assert not paper_ds.cell(1, 1, 0)  # h2, r2, c1 = 0
+        assert paper_ds.cell(2, 3, 4)      # h3, r4, c5 = 1
+        assert not paper_ds.cell(2, 3, 2)  # h3, r4, c3 = 0
+
+    def test_labels(self, paper_ds):
+        assert paper_ds.height_labels == ("h1", "h2", "h3")
+        assert paper_ds.column_labels == ("c1", "c2", "c3", "c4", "c5")
+
+
+class TestTable3Cutters:
+    """The 10 cutters of Table 3, in ascending (height, row) order."""
+
+    EXPECTED = [
+        ("h1", "r1", "c4"),
+        ("h1", "r2", "c4c5"),
+        ("h1", "r4", "c1c2c4"),
+        ("h2", "r2", "c1c5"),
+        ("h2", "r3", "c5"),
+        ("h2", "r4", "c4"),
+        ("h3", "r1", "c4c5"),
+        ("h3", "r2", "c4c5"),
+        ("h3", "r3", "c5"),
+        ("h3", "r4", "c3"),
+    ]
+
+    def test_cutter_count(self, paper_ds):
+        assert len(build_cutters(paper_ds)) == 10
+
+    def test_exact_cutters(self, paper_ds):
+        cutters = build_cutters(paper_ds, HeightOrder.ORIGINAL)
+        rendered = [
+            tuple(cutter.format(paper_ds).split(", ")) for cutter in cutters
+        ]
+        assert rendered == self.EXPECTED
+
+    def test_cutters_cover_all_zeros(self, paper_ds):
+        from repro.cubeminer.cutter import total_zero_cells
+
+        cutters = build_cutters(paper_ds)
+        assert total_zero_cells(cutters) == 3 * 4 * 5 - paper_ds.count_ones()
+
+
+class TestFCCs:
+    """All algorithms produce exactly the 5 FCCs of Table 2 / Figure 1."""
+
+    def test_reference(self, paper_ds, paper_thresholds, expected_fccs):
+        result = reference_mine(paper_ds, paper_thresholds)
+        assert result.cube_set() == expected_fccs
+
+    @pytest.mark.parametrize("order", list(HeightOrder))
+    def test_cubeminer_every_order(
+        self, paper_ds, paper_thresholds, expected_fccs, order
+    ):
+        result = mine(paper_ds, paper_thresholds, order=order)
+        assert result.cube_set() == expected_fccs
+
+    @pytest.mark.parametrize("base_axis", ["height", "row", "column", "auto"])
+    @pytest.mark.parametrize("fcp_miner", sorted(FCP_MINERS))
+    def test_rsm_every_configuration(
+        self, paper_ds, paper_thresholds, expected_fccs, base_axis, fcp_miner
+    ):
+        result = mine(
+            paper_ds,
+            paper_thresholds,
+            algorithm="rsm",
+            base_axis=base_axis,
+            fcp_miner=fcp_miner,
+        )
+        assert result.cube_set() == expected_fccs
+
+    def test_tighter_thresholds_shrink_answer(self, paper_ds):
+        from repro.core.constraints import Thresholds
+
+        result = mine(paper_ds, Thresholds(3, 2, 2))
+        assert result.cube_set() == {
+            Cube.from_labels(paper_ds, "h1 h2 h3", "r1 r3", "c1 c2 c3"),
+            Cube.from_labels(paper_ds, "h1 h2 h3", "r1 r2 r3", "c2 c3"),
+        }
+
+    def test_counterexample_not_reported(self, paper_ds, paper_thresholds):
+        """A' = (h1h3, r2r3, c1c2c3) from Definition 3.3 must not appear."""
+        result = mine(paper_ds, paper_thresholds)
+        bad = Cube.from_labels(paper_ds, "h1 h3", "r2 r3", "c1 c2 c3")
+        assert bad not in result
+
+
+class TestTable2RSMWalkthrough:
+    """Phase-by-phase content of Table 2 (RSM with minH=minR=minC=2)."""
+
+    @pytest.fixture
+    def traces(self, paper_ds, paper_thresholds):
+        return {
+            trace.heights: trace
+            for trace in trace_rsm(paper_ds, paper_thresholds)
+        }
+
+    def test_four_representative_slices(self, traces):
+        assert set(traces) == {
+            mask_of([1, 2]),   # {h2, h3}
+            mask_of([0, 2]),   # {h1, h3}
+            mask_of([0, 1]),   # {h1, h2}
+            mask_of([0, 1, 2]),  # {h1, h2, h3}
+        }
+
+    def test_h2h3_slice_matrix(self, traces):
+        """Row 1 of Table 2: the RS of {h2,h3} is 11100/01100/11110/11001."""
+        rs = traces[mask_of([1, 2])].slice_matrix
+        rows = [
+            "".join("1" if rs.cell(i, j) else "0" for j in range(5))
+            for i in range(4)
+        ]
+        assert rows == ["11100", "01100", "11110", "11001"]
+
+    def test_h1h3_slice_matrix(self, traces):
+        rs = traces[mask_of([0, 2])].slice_matrix
+        rows = [
+            "".join("1" if rs.cell(i, j) else "0" for j in range(5))
+            for i in range(4)
+        ]
+        assert rows == ["11100", "11100", "11110", "00001"]
+
+    def test_h2h3_2d_fcps(self, traces):
+        """Row 1 of Table 2 lists exactly 3 FCPs on the {h2,h3} RS."""
+        patterns = {str(p) for p in traces[mask_of([1, 2])].patterns}
+        assert patterns == {
+            "r1r3 : c1c2c3, 2 : 3",
+            "r1r3r4 : c1c2, 3 : 2",
+            "r1r2r3 : c2c3, 3 : 2",
+        }
+
+    def test_h1h2h3_2d_fcps(self, traces):
+        patterns = {str(p) for p in traces[mask_of([0, 1, 2])].patterns}
+        assert patterns == {
+            "r1r3 : c1c2c3, 2 : 3",
+            "r1r2r3 : c2c3, 3 : 2",
+        }
+
+    def test_h2h3_postpruning(self, traces, paper_ds):
+        """'r1r3:c1c2c3' must be pruned from {h2,h3} (also in h1)."""
+        trace = traces[mask_of([1, 2])]
+        kept = {c.format(paper_ds) for c in trace.kept}
+        pruned = {c.format(paper_ds) for c in trace.pruned}
+        assert kept == {"h2h3 : r1r3r4 : c1c2, 2:3:2"}
+        assert "h2h3 : r1r3 : c1c2c3, 2:2:3" in pruned
+        assert "h2h3 : r1r2r3 : c2c3, 2:3:2" in pruned
+
+    def test_kept_fccs_across_slices(self, traces, paper_ds, expected_fccs):
+        kept = {cube for trace in traces.values() for cube in trace.kept}
+        assert kept == expected_fccs
+
+    def test_each_fcc_from_exactly_one_slice(self, traces):
+        seen: list = []
+        for trace in traces.values():
+            seen.extend(trace.kept)
+        assert len(seen) == len(set(seen))

@@ -1,0 +1,105 @@
+"""Tests for noise injection and the metamorphic invariances it enables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import mine
+from repro.core.constraints import Thresholds
+from repro.datasets import (
+    add_ones,
+    drop_ones,
+    flip_cells,
+    paper_example,
+    planted_tensor,
+    shuffle_heights,
+)
+
+
+class TestFlipCells:
+    def test_flip_count_exact(self, paper_ds):
+        noisy = flip_cells(paper_ds, 0.25, seed=0)
+        differing = int((noisy.data != paper_ds.data).sum())
+        assert differing == round(0.25 * paper_ds.data.size)
+
+    def test_zero_fraction_identity(self, paper_ds):
+        assert flip_cells(paper_ds, 0.0, seed=0) == paper_ds
+
+    def test_full_fraction_complements(self, paper_ds):
+        flipped = flip_cells(paper_ds, 1.0, seed=0)
+        assert (flipped.data != paper_ds.data).all()
+
+    def test_labels_preserved(self, paper_ds):
+        assert flip_cells(paper_ds, 0.1, seed=0).height_labels == (
+            "h1", "h2", "h3"
+        )
+
+    def test_invalid_fraction(self, paper_ds):
+        with pytest.raises(ValueError, match="fraction"):
+            flip_cells(paper_ds, 1.5)
+
+    def test_deterministic_with_seed(self, paper_ds):
+        assert flip_cells(paper_ds, 0.3, seed=4) == flip_cells(
+            paper_ds, 0.3, seed=4
+        )
+
+
+class TestOneSidedNoise:
+    def test_drop_only_removes(self, paper_ds):
+        dropped = drop_ones(paper_ds, 0.5, seed=1)
+        assert not (dropped.data & ~paper_ds.data).any()
+        assert dropped.count_ones() == paper_ds.count_ones() - round(
+            0.5 * paper_ds.count_ones()
+        )
+
+    def test_add_only_adds(self, paper_ds):
+        extended = add_ones(paper_ds, 0.5, seed=2)
+        assert not (paper_ds.data & ~extended.data).any()
+        n_zeros = paper_ds.data.size - paper_ds.count_ones()
+        assert extended.count_ones() == paper_ds.count_ones() + round(0.5 * n_zeros)
+
+    def test_drop_everything(self, paper_ds):
+        assert drop_ones(paper_ds, 1.0, seed=0).count_ones() == 0
+
+    def test_add_everything(self, paper_ds):
+        assert add_ones(paper_ds, 1.0, seed=0).density == 1.0
+
+
+class TestShuffleHeights:
+    def test_metamorphic_invariance(self, paper_ds, paper_thresholds):
+        """Mining results are isomorphic under slice permutation."""
+        shuffled = shuffle_heights(paper_ds, seed=3)
+        original = mine(paper_ds, paper_thresholds)
+        permuted = mine(shuffled, paper_thresholds)
+        assert len(original) == len(permuted)
+        assert sorted(c.volume for c in original) == sorted(
+            c.volume for c in permuted
+        )
+        assert sorted(
+            (c.h_support, c.r_support, c.c_support) for c in original
+        ) == sorted((c.h_support, c.r_support, c.c_support) for c in permuted)
+
+    def test_labels_travel_with_slices(self, paper_ds):
+        shuffled = shuffle_heights(paper_ds, seed=3)
+        for new_index, label in enumerate(shuffled.height_labels):
+            old_index = paper_ds.height_labels.index(label)
+            assert np.array_equal(
+                shuffled.data[new_index], paper_ds.data[old_index]
+            )
+
+
+class TestNoiseSensitivity:
+    def test_dropout_fragments_patterns(self):
+        """The exactness of FCC mining: dropout shrinks max volume."""
+        planted = planted_tensor(
+            (4, 6, 20), n_blocks=1, block_shape=(3, 4, 8),
+            background_density=0.02, seed=5,
+        )
+        th = Thresholds(2, 2, 2)
+        clean = mine(planted.dataset, th)
+        clean_max = max(c.volume for c in clean)
+        noisy = drop_ones(planted.dataset, 0.3, seed=6)
+        noisy_result = mine(noisy, th)
+        noisy_max = max((c.volume for c in noisy_result), default=0)
+        assert noisy_max < clean_max

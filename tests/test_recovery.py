@@ -1,0 +1,114 @@
+"""Tests for recovery metrics against planted ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.recovery import (
+    cube_jaccard,
+    recovery_report,
+    relevance,
+    specificity,
+)
+from repro.api import mine
+from repro.core.constraints import Thresholds
+from repro.core.cube import Cube
+from repro.core.result import MiningResult
+from repro.datasets import drop_ones, planted_tensor
+
+
+class TestCubeJaccard:
+    def test_identical(self):
+        cube = Cube.from_indices([0, 1], [0], [0, 1, 2])
+        assert cube_jaccard(cube, cube) == 1.0
+
+    def test_disjoint(self):
+        a = Cube.from_indices([0], [0], [0])
+        b = Cube.from_indices([1], [1], [1])
+        assert cube_jaccard(a, b) == 0.0
+
+    def test_partial_overlap(self):
+        a = Cube.from_indices([0], [0], [0, 1])     # 2 cells
+        b = Cube.from_indices([0], [0], [1, 2])     # 2 cells, 1 shared
+        assert cube_jaccard(a, b) == pytest.approx(1 / 3)
+
+    def test_axis_disjoint_means_zero(self):
+        # Overlap on two axes but not the third -> empty intersection.
+        a = Cube.from_indices([0], [0, 1], [0, 1])
+        b = Cube.from_indices([1], [0, 1], [0, 1])
+        assert cube_jaccard(a, b) == 0.0
+
+    def test_symmetric(self):
+        a = Cube.from_indices([0, 1], [0, 1], [0])
+        b = Cube.from_indices([1], [0, 1, 2], [0])
+        assert cube_jaccard(a, b) == cube_jaccard(b, a)
+
+    def test_empty_cubes(self):
+        assert cube_jaccard(Cube(0, 0, 0), Cube(0, 0, 0)) == 0.0
+
+
+class TestRecoveryScores:
+    @pytest.fixture
+    def planted(self):
+        return planted_tensor(
+            (5, 8, 25), n_blocks=3, block_shape=(2, 3, 6),
+            background_density=0.02, seed=12,
+        )
+
+    def test_clean_recovery_near_perfect(self, planted):
+        result = mine(planted.dataset, Thresholds(2, 2, 2))
+        report = recovery_report(planted.planted, result)
+        # Clean background: every block is inside some closed cube.
+        assert report.relevance > 0.9
+
+    def test_noise_degrades_relevance(self, planted):
+        clean = mine(planted.dataset, Thresholds(2, 2, 2))
+        noisy_ds = drop_ones(planted.dataset, 0.25, seed=13)
+        noisy = mine(noisy_ds, Thresholds(2, 2, 2))
+        assert relevance(planted.planted, noisy) < relevance(
+            planted.planted, clean
+        )
+
+    def test_specificity_of_truth_is_one(self, planted):
+        """Scoring the truth against itself is perfect."""
+        truth = list(planted.planted)
+        assert specificity(truth, truth) == 1.0
+        assert relevance(truth, truth) == 1.0
+
+    def test_empty_result_scores_zero(self, planted):
+        empty = MiningResult(cubes=[])
+        assert relevance(planted.planted, empty) == 0.0
+        assert specificity(planted.planted, empty) == 0.0
+
+    def test_f1_harmonic_mean(self):
+        report = recovery_report(
+            [Cube.from_indices([0], [0], [0])],
+            [Cube.from_indices([0], [0], [0])],
+        )
+        assert report.f1 == 1.0
+        empty = recovery_report(
+            [Cube.from_indices([0], [0], [0])], MiningResult(cubes=[])
+        )
+        assert empty.f1 == 0.0
+
+    def test_per_block_matches(self, planted):
+        result = mine(planted.dataset, Thresholds(2, 2, 2))
+        report = recovery_report(planted.planted, result)
+        assert len(report.matches) == 3
+        for match in report.matches:
+            assert 0.0 <= match.jaccard <= 1.0
+            if match.jaccard > 0:
+                assert match.matched is not None
+
+    def test_summary(self, planted):
+        result = mine(planted.dataset, Thresholds(2, 2, 2))
+        text = recovery_report(planted.planted, result).summary()
+        assert "relevance=" in text and "f1=" in text
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(ValueError):
+            relevance([], MiningResult(cubes=[]))
+        with pytest.raises(ValueError):
+            specificity([], MiningResult(cubes=[]))
+        with pytest.raises(ValueError):
+            recovery_report([], MiningResult(cubes=[]))

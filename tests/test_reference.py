@@ -1,0 +1,58 @@
+"""Tests for the brute-force reference miner itself."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.closure import is_closed_cube
+from repro.core.constraints import Thresholds
+from repro.core.dataset import Dataset3D
+from repro.core.reference import reference_mine
+
+
+class TestOracleProperties:
+    def test_emits_only_closed_frequent_cubes(self, paper_ds, paper_thresholds):
+        result = reference_mine(paper_ds, paper_thresholds)
+        for cube in result:
+            assert paper_thresholds.satisfied_by(cube)
+            assert is_closed_cube(paper_ds, cube)
+
+    def test_monotone_in_thresholds(self, paper_ds):
+        loose = reference_mine(paper_ds, Thresholds(1, 1, 1))
+        tight = reference_mine(paper_ds, Thresholds(2, 2, 2))
+        # Tighter thresholds can only remove cubes.
+        assert len(tight) <= len(loose)
+        assert tight.cube_set() <= loose.cube_set()
+
+    def test_every_closed_cube_found_exhaustively(self, paper_ds):
+        """Cross-check with an independent closure-based enumeration."""
+        from itertools import product
+
+        from repro.core.closure import close
+        from repro.core.cube import Cube
+
+        found = set()
+        l, n, m = paper_ds.shape
+        for k, i, j in product(range(l), range(n), range(m)):
+            if paper_ds.cell(k, i, j):
+                seed = Cube(1 << k, 1 << i, 1 << j)
+                found.add(close(paper_ds, seed))
+        # Every closure of a single cell with supports >= 1 must be in
+        # the oracle's answer at thresholds (1,1,1).
+        oracle = reference_mine(paper_ds, Thresholds(1, 1, 1)).cube_set()
+        assert found <= oracle
+
+    def test_guard_rejects_large_inputs(self):
+        ds = Dataset3D(np.ones((15, 15, 2), dtype=bool))
+        with pytest.raises(ValueError, match="too large"):
+            reference_mine(ds, Thresholds(1, 1, 1))
+
+    def test_stats_counts_candidates(self, paper_ds, paper_thresholds):
+        result = reference_mine(paper_ds, paper_thresholds)
+        assert result.stats["candidates_checked"] == 4 * 11
+        # 4 height subsets of size >= 2; 11 row subsets of size >= 2.
+
+    def test_empty_dataset_dimension(self):
+        ds = Dataset3D(np.ones((0, 2, 2), dtype=bool))
+        assert len(reference_mine(ds, Thresholds(1, 1, 1))) == 0

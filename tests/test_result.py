@@ -1,0 +1,86 @@
+"""Unit tests for MiningResult."""
+
+from __future__ import annotations
+
+from repro.core.constraints import Thresholds
+from repro.core.cube import Cube
+from repro.core.result import MiningResult
+
+
+def _cubes():
+    return [
+        Cube.from_indices([0], [0], [0]),
+        Cube.from_indices([1], [1], [1]),
+        Cube.from_indices([0, 1], [0], [0]),
+    ]
+
+
+class TestCanonicalization:
+    def test_deduplicates(self):
+        cube = Cube.from_indices([0], [0], [0])
+        result = MiningResult(cubes=[cube, cube, cube])
+        assert len(result) == 1
+
+    def test_sorted_deterministically(self):
+        result_a = MiningResult(cubes=_cubes())
+        result_b = MiningResult(cubes=list(reversed(_cubes())))
+        assert result_a.cubes == result_b.cubes
+
+
+class TestCollectionProtocol:
+    def test_len_iter_contains(self):
+        result = MiningResult(cubes=_cubes())
+        assert len(result) == 3
+        assert set(result) == set(_cubes())
+        assert _cubes()[0] in result
+        assert Cube.from_indices([5], [5], [5]) not in result
+
+
+class TestComparison:
+    def test_same_cubes_ignores_order_and_metadata(self):
+        a = MiningResult(cubes=_cubes(), algorithm="x", elapsed_seconds=1.0)
+        b = MiningResult(cubes=list(reversed(_cubes())), algorithm="y")
+        assert a.same_cubes(b)
+
+    def test_same_cubes_accepts_iterables(self):
+        result = MiningResult(cubes=_cubes())
+        assert result.same_cubes(_cubes())
+        assert not result.same_cubes([])
+
+    def test_difference(self):
+        a = MiningResult(cubes=_cubes()[:2])
+        b = MiningResult(cubes=_cubes()[1:])
+        only_a, only_b = a.difference(b)
+        assert only_a == {_cubes()[0]}
+        assert only_b == {_cubes()[2]}
+
+
+class TestPresentation:
+    def test_format_table(self, paper_ds):
+        result = MiningResult(
+            cubes=[Cube.from_labels(paper_ds, "h1 h2", "r1 r4", "c3 c5")],
+            algorithm="test",
+            thresholds=Thresholds(2, 2, 2),
+        )
+        table = result.format_table(paper_ds)
+        assert "h1h2 : r1r4 : c3c5, 2:2:2" in table
+        assert "1 FCC" in table
+        assert "minH=2" in table
+
+    def test_summary(self):
+        result = MiningResult(
+            cubes=_cubes(),
+            algorithm="cubeminer",
+            dataset_shape=(3, 4, 5),
+            elapsed_seconds=0.25,
+        )
+        summary = result.summary()
+        assert "cubeminer" in summary
+        assert "3 FCCs" in summary
+        assert "3x4x5" in summary
+
+    def test_summary_unknown_shape(self):
+        assert "?" in MiningResult(cubes=[]).summary()
+
+    def test_repr(self):
+        assert "n_cubes=0" in repr(MiningResult(cubes=[]))

@@ -1,0 +1,71 @@
+"""Tests for top-k-by-volume mining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import top_k_by_volume
+from repro.api import mine
+from repro.core.constraints import Thresholds
+from repro.datasets import planted_tensor
+from tests.conftest import random_dataset
+
+
+class TestTopK:
+    def test_paper_example_top3(self, paper_ds, paper_thresholds):
+        top = top_k_by_volume(paper_ds, 3, paper_thresholds)
+        assert len(top) == 3
+        assert all(cube.volume == 18 for cube in top)
+
+    def test_equals_sort_of_full_mine(self, rng):
+        for _ in range(15):
+            ds = random_dataset(rng)
+            base = Thresholds(1, 1, 1)
+            full = sorted(
+                mine(ds, base),
+                key=lambda cube: (-cube.volume, cube.sort_key()),
+            )
+            for k in (1, 3, 7):
+                top = top_k_by_volume(ds, k, base)
+                assert top == full[: k]
+
+    def test_fewer_cubes_than_k(self, paper_ds, paper_thresholds):
+        top = top_k_by_volume(paper_ds, 100, paper_thresholds)
+        assert len(top) == 5
+
+    def test_descending_volumes(self, rng):
+        ds = planted_tensor(
+            (5, 8, 20), n_blocks=4, block_shape=(2, 3, 5),
+            background_density=0.1, seed=9,
+        ).dataset
+        top = top_k_by_volume(ds, 6, Thresholds(1, 1, 1))
+        volumes = [cube.volume for cube in top]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_respects_base_thresholds(self, paper_ds):
+        top = top_k_by_volume(paper_ds, 10, Thresholds(3, 1, 1))
+        assert all(cube.h_support >= 3 for cube in top)
+
+    def test_volume_floor_is_hard(self, paper_ds):
+        base = Thresholds(2, 2, 2, min_volume=13)
+        top = top_k_by_volume(paper_ds, 10, base)
+        assert len(top) == 3  # the two volume-12/8 cubes stay excluded
+        assert all(cube.volume >= 13 for cube in top)
+
+    def test_empty_dataset(self):
+        import numpy as np
+        from repro.core.dataset import Dataset3D
+
+        ds = Dataset3D(np.zeros((2, 2, 2), dtype=bool))
+        assert top_k_by_volume(ds, 5) == []
+
+    def test_invalid_parameters(self, paper_ds):
+        with pytest.raises(ValueError, match="k must"):
+            top_k_by_volume(paper_ds, 0)
+        with pytest.raises(ValueError, match="shrink_factor"):
+            top_k_by_volume(paper_ds, 1, shrink_factor=1.0)
+
+    def test_uses_rsm_when_asked(self, paper_ds, paper_thresholds):
+        top = top_k_by_volume(paper_ds, 2, paper_thresholds, algorithm="rsm")
+        assert len(top) == 2
+        assert all(cube.volume == 18 for cube in top)

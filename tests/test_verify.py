@@ -1,0 +1,95 @@
+"""Tests for the result verification utility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import mine
+from repro.core import verify_result
+from repro.core.constraints import Thresholds
+from repro.core.cube import Cube
+from repro.core.dataset import Dataset3D
+from repro.core.result import MiningResult
+
+
+@pytest.fixture
+def mined(paper_ds, paper_thresholds):
+    return mine(paper_ds, paper_thresholds)
+
+
+class TestSoundResults:
+    def test_clean_result_passes(self, paper_ds, paper_thresholds, mined):
+        report = verify_result(paper_ds, mined, paper_thresholds)
+        assert report.ok
+        assert report.checked == 5
+        assert "OK" in report.summary()
+
+    def test_thresholds_taken_from_result(self, paper_ds, mined):
+        assert verify_result(paper_ds, mined).ok
+
+    def test_completeness_pass(self, paper_ds, paper_thresholds, mined):
+        report = verify_result(
+            paper_ds, mined, paper_thresholds, check_completeness=True
+        )
+        assert report.ok
+        assert report.completeness_checked
+        assert "complete" in report.summary()
+
+
+class TestViolations:
+    def test_incomplete_cube_flagged(self, paper_ds, paper_thresholds):
+        bad = MiningResult(
+            cubes=[Cube.from_labels(paper_ds, "h1", "r4", "c1 c3")]
+        )
+        report = verify_result(paper_ds, bad, paper_thresholds)
+        assert not report.ok
+        assert report.violations[0].kind == "incomplete"
+
+    def test_unclosed_cube_flagged_per_axis(self, paper_ds, paper_thresholds):
+        # (h1h3, r2r3, c1c2c3) is complete but row-unclosed (r1 missing).
+        bad = MiningResult(
+            cubes=[Cube.from_labels(paper_ds, "h1 h3", "r2 r3", "c1 c2 c3")]
+        )
+        report = verify_result(paper_ds, bad, paper_thresholds)
+        kinds = {v.kind for v in report.violations}
+        assert "unclosed-row" in kinds
+
+    def test_infrequent_cube_flagged(self, paper_ds):
+        cube = Cube.from_labels(paper_ds, "h1 h2", "r1 r4", "c3 c5")
+        report = verify_result(
+            paper_ds, MiningResult(cubes=[cube]), Thresholds(3, 3, 3)
+        )
+        assert any(v.kind == "infrequent" for v in report.violations)
+
+    def test_empty_axis_cube_flagged(self, paper_ds, paper_thresholds):
+        report = verify_result(
+            paper_ds, MiningResult(cubes=[Cube(0, 1, 1)]), paper_thresholds
+        )
+        assert report.violations[0].kind == "incomplete"
+
+    def test_missing_cube_flagged(self, paper_ds, paper_thresholds, mined):
+        partial = MiningResult(cubes=mined.cubes[:3])
+        report = verify_result(
+            paper_ds, partial, paper_thresholds, check_completeness=True
+        )
+        missing = [v for v in report.violations if v.kind == "missing"]
+        assert len(missing) == 2
+
+    def test_wrong_dataset_detected(self, paper_ds, paper_thresholds, mined):
+        """Verifying against a perturbed dataset must surface violations."""
+        data = paper_ds.data.copy()
+        data[0, 0, 1] = False  # break a cell inside several FCCs
+        report = verify_result(Dataset3D(data), mined, paper_thresholds)
+        assert not report.ok
+
+    def test_completeness_without_thresholds_raises(self, paper_ds, mined):
+        result = MiningResult(cubes=list(mined))
+        with pytest.raises(ValueError, match="thresholds"):
+            verify_result(paper_ds, result, None, check_completeness=True)
+
+    def test_violation_str(self, paper_ds, paper_thresholds):
+        report = verify_result(
+            paper_ds, MiningResult(cubes=[Cube(0, 1, 1)]), paper_thresholds
+        )
+        assert "incomplete" in str(report.violations[0])
