@@ -1,0 +1,135 @@
+"""Kernel backend comparison on the Figure 3-5 workloads.
+
+Runs every registered kernel backend (``python-int``, ``numpy``, plus
+any future registrations) over representative points of the paper's
+Figure 3 minC sweeps and the Figure 4/5 minH/minR settings, for both
+CubeMiner and RSM.  Each point asserts that all backends return the
+same number of cubes (the differential test suite proves full
+equality; the assertion here guards the benchmark itself against
+drift) and records per-kernel wall times.
+
+Standalone runs additionally write ``BENCH_kernels.json`` at the repo
+root — the machine-readable perf trajectory for the backend layer::
+
+    python benchmarks/bench_kernels.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from common import cdc15_bench, elutriation_bench, print_series_table, scale_minc, timed
+from repro.core.constraints import Thresholds
+from repro.core.kernels import available_kernels
+from repro.cubeminer import cubeminer_mine
+from repro.rsm import rsm_mine
+
+KERNELS = list(available_kernels())
+
+_DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+
+def _cubeminer(dataset, thresholds):
+    return cubeminer_mine(dataset, thresholds)
+
+
+def _rsm(dataset, thresholds):
+    return rsm_mine(dataset, thresholds, base_axis="row")
+
+
+#: (name, figure, dataset factory, dataset label, algorithm runner,
+#:  algorithm label, thresholds) — one benchmark point each.
+def _workloads():
+    elu_fig3 = [scale_minc(v, 7161) for v in (900, 1100, 1300)]
+    cdc_fig3 = [scale_minc(v, 7761) for v in (1000, 1400)]
+    points = []
+    for min_c in elu_fig3:
+        t = Thresholds(3, 3, min_c)
+        points.append((f"fig3a-elu-cubeminer-minC={min_c}", "fig3a",
+                       elutriation_bench, "elutriation", _cubeminer, "cubeminer", t))
+        points.append((f"fig3a-elu-rsm_r-minC={min_c}", "fig3a",
+                       elutriation_bench, "elutriation", _rsm, "rsm-r", t))
+    for min_c in cdc_fig3:
+        t = Thresholds(3, 3, min_c)
+        points.append((f"fig3b-cdc15-cubeminer-minC={min_c}", "fig3b",
+                       cdc15_bench, "cdc15", _cubeminer, "cubeminer", t))
+        points.append((f"fig3b-cdc15-rsm_r-minC={min_c}", "fig3b",
+                       cdc15_bench, "cdc15", _rsm, "rsm-r", t))
+    elu_minc = scale_minc(1000, 7161)
+    for min_h in (5, 7):  # Figure 4 points (minR=3)
+        t = Thresholds(min_h, 3, elu_minc)
+        points.append((f"fig4a-elu-cubeminer-minH={min_h}", "fig4a",
+                       elutriation_bench, "elutriation", _cubeminer, "cubeminer", t))
+        points.append((f"fig4a-elu-rsm_r-minH={min_h}", "fig4a",
+                       elutriation_bench, "elutriation", _rsm, "rsm-r", t))
+    for min_r in (4, 6):  # Figure 5 points (minH=3)
+        t = Thresholds(3, min_r, elu_minc)
+        points.append((f"fig5a-elu-cubeminer-minR={min_r}", "fig5a",
+                       elutriation_bench, "elutriation", _cubeminer, "cubeminer", t))
+        points.append((f"fig5a-elu-rsm_r-minR={min_r}", "fig5a",
+                       elutriation_bench, "elutriation", _rsm, "rsm-r", t))
+    return points
+
+
+WORKLOADS = _workloads()
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize(
+    "point", WORKLOADS[:6], ids=lambda p: p[0]  # fig3a sweep; full set via sweep()
+)
+def test_kernel_point(benchmark, kernel, point):
+    _name, _fig, factory, _ds, runner, _alg, thresholds = point
+    dataset = factory().with_kernel(kernel)
+    benchmark.pedantic(runner, args=(dataset, thresholds), rounds=1, iterations=1)
+
+
+def sweep(output: Path | None = _DEFAULT_OUTPUT) -> dict:
+    """Time every workload under every kernel; optionally write JSON."""
+    records = []
+    series: dict[str, list[float]] = {name: [] for name in KERNELS}
+    labels: list[str] = []
+    counts: list[int] = []
+    for name, figure, factory, ds_label, runner, alg, thresholds in WORKLOADS:
+        seconds: dict[str, float] = {}
+        n_cubes: int | None = None
+        for kernel in KERNELS:
+            dataset = factory().with_kernel(kernel)
+            t, result = timed(runner, dataset, thresholds)
+            seconds[kernel] = round(t, 4)
+            if n_cubes is None:
+                n_cubes = len(result)
+            elif len(result) != n_cubes:
+                raise AssertionError(
+                    f"{name}: kernel {kernel!r} found {len(result)} cubes, "
+                    f"expected {n_cubes}"
+                )
+            series[kernel].append(t)
+        labels.append(name)
+        counts.append(n_cubes or 0)
+        records.append({
+            "name": name,
+            "figure": figure,
+            "dataset": ds_label,
+            "algorithm": alg,
+            "thresholds": [thresholds.min_h, thresholds.min_r, thresholds.min_c],
+            "n_cubes": n_cubes,
+            "seconds": seconds,
+        })
+    print_series_table(
+        "Kernel backends on Figure 3-5 workloads",
+        "workload", labels, series, counts=counts,
+    )
+    payload = {"kernels": KERNELS, "workloads": records}
+    if output is not None:
+        output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nper-kernel wall times written to {output}")
+    return payload
+
+
+if __name__ == "__main__":
+    sweep(Path(sys.argv[1]) if len(sys.argv) > 1 else _DEFAULT_OUTPUT)

@@ -38,15 +38,15 @@ GENES = 250
 
 
 @lru_cache(maxsize=None)
-def elutriation_bench() -> Dataset3D:
+def elutriation_bench(seed: int = 0) -> Dataset3D:
     """Elutriation substitute: 14 x 9 x GENES (paper: 14 x 9 x 7161)."""
-    return elutriation_like(GENES, seed=0)
+    return elutriation_like(GENES, seed=seed)
 
 
 @lru_cache(maxsize=None)
-def cdc15_bench() -> Dataset3D:
+def cdc15_bench(seed: int = 1) -> Dataset3D:
     """CDC15 substitute: 19 x 9 x GENES (paper: 19 x 9 x 7761)."""
-    return cdc15_like(GENES, seed=1)
+    return cdc15_like(GENES, seed=seed)
 
 
 def scale_minc(paper_minc: int, paper_genes: int) -> int:
@@ -55,22 +55,23 @@ def scale_minc(paper_minc: int, paper_genes: int) -> int:
 
 
 @lru_cache(maxsize=None)
-def synthetic_heights_bench(n_heights: int) -> Dataset3D:
+def synthetic_heights_bench(n_heights: int, seed: int | None = None) -> Dataset3D:
     """Figure 7 substitute: n_heights x 12 x 250 at 30% background
     density with planted correlated blocks (paper: h x 20 x 1000, IBM
-    generator)."""
+    generator).  ``seed`` defaults to ``n_heights`` so each sweep point
+    draws a distinct but reproducible tensor."""
     planted = planted_tensor(
         (n_heights, 12, 250),
         n_blocks=6,
         block_shape=(min(4, n_heights), 5, 20),
         background_density=0.30,
-        seed=n_heights,
+        seed=n_heights if seed is None else seed,
     )
     return planted.dataset
 
 
 @lru_cache(maxsize=None)
-def skewed_slices_bench() -> Dataset3D:
+def skewed_slices_bench(seed: int = 3) -> Dataset3D:
     """A 12 x 9 x 250 tensor whose height slices have very different
     densities (8%..85%) plus planted blocks.
 
@@ -82,7 +83,7 @@ def skewed_slices_bench() -> Dataset3D:
     """
     import numpy as np
 
-    rng = np.random.default_rng(3)
+    rng = np.random.default_rng(seed)
     l, n, m = 12, 9, 250
     densities = np.linspace(0.08, 0.85, l)
     rng.shuffle(densities)
@@ -96,7 +97,7 @@ def skewed_slices_bench() -> Dataset3D:
 
 
 @lru_cache(maxsize=None)
-def large_synthetic_bench() -> Dataset3D:
+def large_synthetic_bench(seed: int = 99) -> Dataset3D:
     """Figure 8 substitute: 24 x 24 x 400 at 10% background density with
     planted blocks (paper: 100 x 100 x 10000, IBM generator)."""
     planted = planted_tensor(
@@ -104,7 +105,7 @@ def large_synthetic_bench() -> Dataset3D:
         n_blocks=8,
         block_shape=(8, 8, 40),
         background_density=0.10,
-        seed=99,
+        seed=seed,
     )
     return planted.dataset
 

@@ -2,19 +2,25 @@
 
 Usage::
 
-    python benchmarks/run_all.py [output_dir]
+    python benchmarks/run_all.py [output_dir] [--json]
 
 Executes the standalone ``sweep()`` of every bench module in paper
 order and tees each table both to stdout and to
 ``<output_dir>/<module>.txt`` (default ``benchmarks/results/``).
 These text tables are the measured data EXPERIMENTS.md records.
+
+With ``--json``, additionally writes ``<output_dir>/results.json``
+holding, per module, the wall-clock seconds of its sweep and the table
+text split into lines — a machine-readable record downstream tooling
+can diff across runs without re-parsing aligned columns.
 """
 
 from __future__ import annotations
 
+import argparse
 import contextlib
 import io
-import sys
+import json
 import time
 from pathlib import Path
 
@@ -41,10 +47,11 @@ MODULES = [
 ]
 
 
-def main(output_dir: str | None = None) -> None:
+def main(output_dir: str | None = None, write_json: bool = False) -> None:
     out_root = Path(output_dir or Path(__file__).parent / "results")
     out_root.mkdir(parents=True, exist_ok=True)
     grand_start = time.perf_counter()
+    records: dict[str, dict] = {}
     for module in MODULES:
         name = module.__name__
         print(f"\n### {name} ###")
@@ -57,9 +64,27 @@ def main(output_dir: str | None = None) -> None:
         elapsed = time.perf_counter() - start
         print(f"### {name} done in {elapsed:.1f}s ###")
         (out_root / f"{name}.txt").write_text(text)
+        records[name] = {
+            "elapsed_seconds": round(elapsed, 3),
+            "table_lines": text.splitlines(),
+        }
     total = time.perf_counter() - grand_start
+    if write_json:
+        payload = {
+            "total_seconds": round(total, 3),
+            "modules": records,
+        }
+        json_path = out_root / "results.json"
+        json_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"json results in {json_path}")
     print(f"\nall sweeps done in {total:.1f}s; tables in {out_root}/")
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else None)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("output_dir", nargs="?", default=None,
+                        help="where to write the tables (default benchmarks/results/)")
+    parser.add_argument("--json", action="store_true",
+                        help="also write machine-readable results.json")
+    args = parser.parse_args()
+    main(args.output_dir, write_json=args.json)

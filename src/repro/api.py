@@ -11,6 +11,7 @@ from __future__ import annotations
 from .core.constraints import Thresholds
 from .core.cube import Cube
 from .core.dataset import Dataset3D
+from .core.kernels import Kernel
 from .core.result import MiningResult
 
 __all__ = ["mine", "ALGORITHMS"]
@@ -25,6 +26,7 @@ def mine(
     *,
     algorithm: str = "cubeminer",
     auto_transpose: bool = False,
+    kernel: str | Kernel | None = None,
     **options,
 ) -> MiningResult:
     """Mine all frequent closed cubes of ``dataset``.
@@ -45,6 +47,11 @@ def mine(
         When True, permute axes so the column axis is the largest before
         mining (CubeMiner's preprocessing heuristic) and map the found
         cubes back to the original axis order.
+    kernel:
+        Bitset backend override for this run (name or
+        :class:`~repro.core.kernels.Kernel`); ``None`` keeps the
+        dataset's own kernel (itself defaulting to ``REPRO_KERNEL`` /
+        ``python-int``).  Backends never change the mined cubes.
     options:
         Forwarded to the selected algorithm (e.g. ``order=`` for
         CubeMiner, ``base_axis=`` / ``fcp_miner=`` for RSM,
@@ -52,6 +59,8 @@ def mine(
     """
     if algorithm not in ALGORITHMS:
         raise ValueError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+    if kernel is not None:
+        dataset = dataset.with_kernel(kernel)
 
     if auto_transpose:
         return _mine_transposed(dataset, thresholds, algorithm, options)

@@ -28,6 +28,7 @@ from .analysis import dataset_stats, derive_rules, result_stats
 from .api import ALGORITHMS, mine
 from .core.constraints import Thresholds
 from .core.dataset import Dataset3D
+from .core.kernels import available_kernels
 from .cubeminer.cutter import HeightOrder
 from .datasets import (
     cdc15_like,
@@ -151,6 +152,9 @@ def _add_mine_arguments(cmd: argparse.ArgumentParser) -> None:
                      help="CubeMiner height-slice ordering")
     cmd.add_argument("--workers", type=int, default=2,
                      help="worker processes for parallel algorithms")
+    cmd.add_argument("--kernel", choices=available_kernels(), default=None,
+                     help="bitset kernel backend (default: $REPRO_KERNEL "
+                          "or python-int)")
 
 
 def _generate(args: argparse.Namespace) -> int:
@@ -197,6 +201,8 @@ def _mine_with_args(args: argparse.Namespace):
     elif args.algorithm == "parallel-cubeminer":
         options["order"] = HeightOrder(args.order)
         options["n_workers"] = args.workers
+    if args.kernel:
+        options["kernel"] = args.kernel
     result = mine(dataset, thresholds, algorithm=args.algorithm, **options)
     return dataset, result
 

@@ -108,6 +108,8 @@ def mask_from_bools(flags: Iterable[bool]) -> int:
 
 def bools_from_mask(mask: int, n: int) -> list[bool]:
     """Expand ``mask`` into a list of ``n`` booleans (bit ``i`` -> index ``i``)."""
+    if n < 0:
+        raise ValueError(f"universe size must be non-negative, got {n}")
     if mask >> n:
         raise ValueError(f"mask {mask:#x} has bits beyond universe size {n}")
     return [bool(mask >> i & 1) for i in range(n)]

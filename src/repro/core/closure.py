@@ -11,12 +11,14 @@ together with the closed-cube predicate of Definition 3.2 and a fixpoint
 ``close`` operator that grows a seed cube to a closed one.
 
 All set arguments and return values are integer bitmasks
-(see :mod:`repro.core.bitset`).
+(see :mod:`repro.core.bitset`); the batch work — one fold or subset
+sweep over the dataset's (height, row) mask grid per operator call —
+runs on the dataset's kernel backend (:mod:`repro.core.kernels`).
 """
 
 from __future__ import annotations
 
-from .bitset import full_mask, is_subset, iter_bits
+from .bitset import is_subset
 from .cube import Cube
 from .dataset import Dataset3D
 
@@ -37,46 +39,26 @@ def column_support(dataset: Dataset3D, heights: int, rows: int) -> int:
     family and therefore returns the full column universe; callers that
     need a different convention must special-case empty inputs.
     """
-    acc = full_mask(dataset.n_columns)
-    for k in iter_bits(heights):
-        for i in iter_bits(rows):
-            acc &= dataset.ones_mask(k, i)
-            if acc == 0:
-                return 0
-    return acc
+    return dataset.kernel.grid_fold_and(
+        dataset.ones_grid(), heights, rows, dataset.n_columns
+    )
 
 
 def height_support(dataset: Dataset3D, rows: int, columns: int) -> int:
     """Return ``H(R' x C')``: heights whose slices are all-ones on R' x C'."""
-    result = 0
-    for k in range(dataset.n_heights):
-        for i in iter_bits(rows):
-            if not is_subset(columns, dataset.ones_mask(k, i)):
-                break
-        else:
-            result |= 1 << k
-    return result
+    return dataset.kernel.grid_supporting_heights(dataset.ones_grid(), rows, columns)
 
 
 def row_support(dataset: Dataset3D, heights: int, columns: int) -> int:
     """Return ``R(H' x C')``: rows that are all-ones on H' x C'."""
-    result = 0
-    for i in range(dataset.n_rows):
-        for k in iter_bits(heights):
-            if not is_subset(columns, dataset.ones_mask(k, i)):
-                break
-        else:
-            result |= 1 << i
-    return result
+    return dataset.kernel.grid_supporting_rows(dataset.ones_grid(), heights, columns)
 
 
 def is_all_ones(dataset: Dataset3D, cube: Cube) -> bool:
     """True when every cell covered by ``cube`` holds 1 (a *complete* cube)."""
-    for k in iter_bits(cube.heights):
-        for i in iter_bits(cube.rows):
-            if not is_subset(cube.columns, dataset.ones_mask(k, i)):
-                return False
-    return True
+    return is_subset(
+        cube.columns, column_support(dataset, cube.heights, cube.rows)
+    )
 
 
 def is_closed_cube(dataset: Dataset3D, cube: Cube) -> bool:

@@ -24,6 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from .bitset import full_mask
+from .kernels import Kernel, resolve_kernel
 
 __all__ = ["Dataset3D", "AXIS_NAMES"]
 
@@ -49,6 +50,13 @@ class Dataset3D:
     height_labels, row_labels, column_labels:
         Optional human-readable names per index.  Defaults to the paper's
         ``h1..hl`` / ``r1..rn`` / ``c1..cm`` convention.
+    kernel:
+        The bitset backend executing this dataset's batch operations: a
+        :class:`~repro.core.kernels.Kernel`, a registered name, or
+        ``None`` for the ``REPRO_KERNEL`` / default selection (resolved
+        lazily, see :mod:`repro.core.kernels`).  The kernel never
+        affects results — only how the closure operators are computed —
+        so equality and hashing ignore it.
     """
 
     __slots__ = (
@@ -58,6 +66,9 @@ class Dataset3D:
         "_column_labels",
         "_ones_masks",
         "_zeros_masks",
+        "_kernel_spec",
+        "_kernel",
+        "_ones_grid",
     )
 
     def __init__(
@@ -67,6 +78,7 @@ class Dataset3D:
         height_labels: Sequence[str] | None = None,
         row_labels: Sequence[str] | None = None,
         column_labels: Sequence[str] | None = None,
+        kernel: str | Kernel | None = None,
     ) -> None:
         array = np.asarray(data)
         if array.ndim != 3:
@@ -87,6 +99,9 @@ class Dataset3D:
         self._column_labels = self._check_labels("column", column_labels, m)
         self._ones_masks: list[list[int]] | None = None
         self._zeros_masks: list[list[int]] | None = None
+        self._kernel_spec = kernel
+        self._kernel: Kernel | None = None
+        self._ones_grid = None
 
     @staticmethod
     def _check_labels(
@@ -226,6 +241,52 @@ class Dataset3D:
         return list(self._ones_masks[k])  # type: ignore[index]
 
     # ------------------------------------------------------------------
+    # Kernel backend
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> Kernel:
+        """The bitset backend serving this dataset (resolved lazily)."""
+        if self._kernel is None:
+            self._kernel = resolve_kernel(self._kernel_spec)
+        return self._kernel
+
+    def with_kernel(self, kernel: str | Kernel | None) -> "Dataset3D":
+        """Return a view of this dataset bound to another kernel.
+
+        The tensor, labels and int-mask caches are shared (all are
+        immutable); only the kernel-native grid cache is rebuilt.
+        """
+        if kernel is not None and resolve_kernel(kernel) is self.kernel:
+            return self
+        clone = Dataset3D.__new__(Dataset3D)
+        clone._data = self._data
+        clone._height_labels = self._height_labels
+        clone._row_labels = self._row_labels
+        clone._column_labels = self._column_labels
+        clone._ones_masks = self._ones_masks
+        clone._zeros_masks = self._zeros_masks
+        clone._kernel_spec = kernel
+        clone._kernel = None
+        clone._ones_grid = None
+        return clone
+
+    def ones_grid(self):
+        """Kernel-native handle for the full (height, row) ones-mask grid.
+
+        This is what the closure operators, CubeMiner's closure checks
+        and RSM's slice folding run their batch operations against;
+        built once per (dataset, kernel) pair.
+        """
+        if self._ones_grid is None:
+            if self._ones_masks is not None:
+                self._ones_grid = self.kernel.pack_grid(
+                    self._ones_masks, self.n_columns
+                )
+            else:
+                self._ones_grid = self.kernel.pack_grid_from_tensor(self._data)
+        return self._ones_grid
+
+    # ------------------------------------------------------------------
     # Rearrangement
     # ------------------------------------------------------------------
     def transpose(self, order: tuple[int, int, int] | tuple[str, str, str]) -> "Dataset3D":
@@ -244,6 +305,7 @@ class Dataset3D:
             height_labels=labels[0],
             row_labels=labels[1],
             column_labels=labels[2],
+            kernel=self._kernel_spec,
         )
 
     def canonical_transpose(self) -> "Dataset3D":
@@ -271,6 +333,7 @@ class Dataset3D:
             height_labels=labels,
             row_labels=self._row_labels,
             column_labels=self._column_labels,
+            kernel=self._kernel_spec,
         )
 
     # ------------------------------------------------------------------
@@ -354,12 +417,14 @@ class Dataset3D:
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:
         # The bitmask caches can dwarf the tensor itself; workers rebuild
-        # them lazily, so only the tensor and labels travel.
+        # them lazily, so only the tensor, labels and kernel name travel.
+        spec = self._kernel_spec
         return {
             "data": self._data,
             "height_labels": self._height_labels,
             "row_labels": self._row_labels,
             "column_labels": self._column_labels,
+            "kernel": spec.name if isinstance(spec, Kernel) else spec,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -371,6 +436,9 @@ class Dataset3D:
         self._column_labels = state["column_labels"]
         self._ones_masks = None
         self._zeros_masks = None
+        self._kernel_spec = state.get("kernel")
+        self._kernel = None
+        self._ones_grid = None
 
     # ------------------------------------------------------------------
     # Dunder protocol

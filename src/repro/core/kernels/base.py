@@ -1,0 +1,167 @@
+"""The kernel backend contract.
+
+A *kernel* supplies the batch bitset operations that dominate mining:
+AND/OR folds over many masks, popcounts over a mask list, subset tests
+against a mask array, representative-slice folding over a dataset's
+(height, row) mask grid, and the cutter-applicability scan of
+CubeMiner's inner loop.  The miners keep exchanging plain Python ``int``
+bitmasks (see :mod:`repro.core.bitset`); a kernel is free to use any
+internal representation — it converts at the boundary via *handles*:
+
+* a **mask-array handle** (:meth:`Kernel.pack_masks`) stands for a
+  sequence of masks over one bit universe, e.g. the row masks of a
+  :class:`~repro.fcp.matrix.BinaryMatrix`;
+* a **grid handle** (:meth:`Kernel.pack_grid`) stands for the ``l x n``
+  grid of per-(height, row) column masks of a
+  :class:`~repro.core.dataset.Dataset3D`;
+* a **cutter handle** (:meth:`Kernel.pack_cutters`) stands for
+  CubeMiner's cutter list Z.
+
+Handles are immutable once built and are cached by their owners
+(dataset, matrix, miner run), so packing cost is paid once per object,
+not per operation.  Handles never travel between kernels or processes:
+pickled owners drop them and repack lazily on the other side.
+
+Empty-selection conventions match the closure operators' intersection
+semantics: an AND-fold over an empty family is the full universe, an
+OR-fold is empty, and a support query with an empty opposing set
+returns every candidate.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from typing import Any, ClassVar
+
+import numpy as np
+
+__all__ = ["Kernel"]
+
+
+class Kernel(ABC):
+    """Interchangeable batch-bitset backend.
+
+    All masks crossing the interface are non-negative Python ints with
+    bit ``i`` set when index ``i`` belongs to the set.  Subclasses must
+    be stateless (one shared instance serves every caller) and define a
+    unique class-level ``name`` used by the registry.
+    """
+
+    name: ClassVar[str]
+
+    # ------------------------------------------------------------------
+    # Mask arrays (1D)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def pack_masks(self, masks: Sequence[int], n_bits: int) -> Any:
+        """Build a handle for ``masks``, each over a ``n_bits`` universe."""
+
+    @abstractmethod
+    def unpack_masks(self, handle: Any) -> list[int]:
+        """Recover the packed masks as plain ints (inverse of pack)."""
+
+    @abstractmethod
+    def fold_and(self, handle: Any, n_bits: int, select: int | None = None) -> int:
+        """AND of ``masks[i]`` for every ``i`` in ``select``.
+
+        ``select`` is a row-index bitmask (``None`` selects all); an
+        empty selection returns the full ``n_bits`` universe.
+        """
+
+    @abstractmethod
+    def fold_or(self, handle: Any, n_bits: int, select: int | None = None) -> int:
+        """OR of ``masks[i]`` over ``select`` (empty selection -> 0)."""
+
+    @abstractmethod
+    def popcounts(self, handle: Any) -> list[int]:
+        """Per-mask set sizes, in pack order."""
+
+    @abstractmethod
+    def supersets_of(self, handle: Any, sub: int) -> int:
+        """Index bitmask of the packed masks that contain ``sub``."""
+
+    # ------------------------------------------------------------------
+    # Dataset grids (l heights x n rows of column masks)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def pack_grid(self, masks: Sequence[Sequence[int]], n_bits: int) -> Any:
+        """Build a grid handle from ``masks[k][i]`` column bitmasks."""
+
+    def pack_grid_from_tensor(self, data: np.ndarray) -> Any:
+        """Build a grid handle straight from an ``(l, n, m)`` bool tensor.
+
+        The generic path packs each row through numpy and defers to
+        :meth:`pack_grid`; subclasses may shortcut it.
+        """
+        l, n, m = data.shape
+        grid: list[list[int]] = []
+        for k in range(l):
+            row_masks = []
+            for i in range(n):
+                packed = np.packbits(data[k, i], bitorder="little").tobytes()
+                row_masks.append(int.from_bytes(packed, "little"))
+            grid.append(row_masks)
+        return self.pack_grid(grid, m)
+
+    @abstractmethod
+    def grid_fold_and(self, grid: Any, heights: int, rows: int, n_bits: int) -> int:
+        """AND of ``grid[k][i]`` over ``k in heights, i in rows``.
+
+        The paper's ``C(H' x R')`` operator; an empty height or row
+        selection returns the full column universe.
+        """
+
+    @abstractmethod
+    def grid_fold_rows(self, grid: Any, heights: int, n_bits: int) -> list[int]:
+        """Representative-slice folding: per-row AND over ``heights``.
+
+        Returns one column mask per grid row — the row masks of the
+        representative slice of the selected height subset.  An empty
+        selection yields full-universe masks (empty intersection).
+        """
+
+    @abstractmethod
+    def grid_supporting_heights(
+        self, grid: Any, rows: int, columns: int, candidates: int | None = None
+    ) -> int:
+        """Heights whose slices contain ``columns`` on every row of ``rows``.
+
+        The paper's ``H(R' x C')`` operator restricted to ``candidates``
+        (``None`` = all heights).  With ``rows`` empty every candidate
+        qualifies.
+        """
+
+    @abstractmethod
+    def grid_supporting_rows(
+        self, grid: Any, heights: int, columns: int, candidates: int | None = None
+    ) -> int:
+        """Rows containing ``columns`` on every height of ``heights``.
+
+        The paper's ``R(H' x C')`` operator restricted to ``candidates``.
+        """
+
+    # ------------------------------------------------------------------
+    # CubeMiner cutters
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def pack_cutters(
+        self,
+        heights: Sequence[int],
+        rows: Sequence[int],
+        columns: Sequence[int],
+        shape: tuple[int, int, int],
+    ) -> Any:
+        """Build a handle for a cutter list (parallel height/row/columns)."""
+
+    @abstractmethod
+    def first_applicable_cutter(
+        self, handle: Any, heights: int, rows: int, columns: int, start: int
+    ) -> int:
+        """Index of the first cutter at or after ``start`` that intersects
+        the node ``(heights, rows, columns)``; the cutter count if none
+        does (Algorithm 2, line 6).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

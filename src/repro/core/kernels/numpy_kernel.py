@@ -1,0 +1,220 @@
+"""Packed-uint64 kernel vectorized with numpy.
+
+Masks are stored as little-endian ``uint64`` word arrays (word ``w``
+holds bits ``64w .. 64w+63``), so a batch operation over many masks is
+a handful of whole-array bitwise ops instead of a Python-level loop:
+
+* mask arrays pack to ``(k, words)`` matrices,
+* dataset grids pack to ``(l, n, words)`` tensors (built straight from
+  the bool tensor via ``np.packbits``),
+* subset tests are ``(sub & ~A) == 0`` reductions,
+* AND/OR folds are ``np.bitwise_and.reduce`` / ``bitwise_or.reduce``,
+* popcounts use ``np.bitwise_count``.
+
+Conversion to and from the miners' Python-int masks happens only at the
+interface boundary (``int.to_bytes`` / ``int.from_bytes`` round-trips
+through the same little-endian layout).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from ..bitset import full_mask
+from .base import Kernel
+
+__all__ = ["NumpyKernel"]
+
+_WORD_DTYPE = np.dtype("<u8")
+
+
+def _n_words(n_bits: int) -> int:
+    return (n_bits + 63) // 64
+
+
+def _pack_int(mask: int, words: int) -> np.ndarray:
+    """One int mask -> a ``(words,)`` uint64 array."""
+    return np.frombuffer(mask.to_bytes(words * 8, "little"), dtype=_WORD_DTYPE)
+
+
+def _unpack_int(words_arr: np.ndarray) -> int:
+    """A ``(words,)`` uint64 array -> the int mask it encodes."""
+    return int.from_bytes(np.ascontiguousarray(words_arr, dtype=_WORD_DTYPE).tobytes(), "little")
+
+
+def _select_bools(select: int, count: int) -> np.ndarray:
+    """An index bitmask -> a ``(count,)`` bool selector array."""
+    words = _n_words(count)
+    raw = np.frombuffer(select.to_bytes(words * 8, "little"), dtype=np.uint8)
+    return np.unpackbits(raw, bitorder="little", count=count).astype(bool)
+
+
+def _mask_from_bools(flags: np.ndarray) -> int:
+    """A bool array -> the index bitmask of its True positions."""
+    if flags.size == 0:
+        return 0
+    return int.from_bytes(
+        np.packbits(flags, bitorder="little").tobytes(), "little"
+    )
+
+
+class NumpyKernel(Kernel):
+    """Vectorized batch operations on packed uint64 word arrays."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------
+    # Mask arrays
+    # ------------------------------------------------------------------
+    def pack_masks(self, masks: Sequence[int], n_bits: int) -> np.ndarray:
+        words = _n_words(n_bits)
+        packed = np.empty((len(masks), words), dtype=_WORD_DTYPE)
+        for i, mask in enumerate(masks):
+            packed[i] = _pack_int(mask, words)
+        return packed
+
+    def unpack_masks(self, handle: np.ndarray) -> list[int]:
+        return [_unpack_int(row) for row in handle]
+
+    def fold_and(self, handle: np.ndarray, n_bits: int, select: int | None = None) -> int:
+        rows = handle if select is None else handle[_select_bools(select, len(handle))]
+        if rows.shape[0] == 0:
+            return full_mask(n_bits)
+        return _unpack_int(np.bitwise_and.reduce(rows, axis=0))
+
+    def fold_or(self, handle: np.ndarray, n_bits: int, select: int | None = None) -> int:
+        rows = handle if select is None else handle[_select_bools(select, len(handle))]
+        if rows.shape[0] == 0:
+            return 0
+        return _unpack_int(np.bitwise_or.reduce(rows, axis=0))
+
+    def popcounts(self, handle: np.ndarray) -> list[int]:
+        if handle.size == 0:
+            return [0] * len(handle)
+        return np.bitwise_count(handle).sum(axis=1, dtype=np.int64).tolist()
+
+    def supersets_of(self, handle: np.ndarray, sub: int) -> int:
+        sub_words = _pack_int(sub, handle.shape[1])
+        ok = ((sub_words & ~handle) == 0).all(axis=1)
+        return _mask_from_bools(ok)
+
+    # ------------------------------------------------------------------
+    # Grids
+    # ------------------------------------------------------------------
+    def pack_grid(self, masks: Sequence[Sequence[int]], n_bits: int) -> np.ndarray:
+        words = _n_words(n_bits)
+        l = len(masks)
+        n = len(masks[0]) if l else 0
+        packed = np.empty((l, n, words), dtype=_WORD_DTYPE)
+        for k, per_height in enumerate(masks):
+            for i, mask in enumerate(per_height):
+                packed[k, i] = _pack_int(mask, words)
+        return packed
+
+    def pack_grid_from_tensor(self, data: np.ndarray) -> np.ndarray:
+        l, n, m = data.shape
+        words = _n_words(m)
+        bits = np.packbits(data, axis=-1, bitorder="little")
+        padded = np.zeros((l, n, words * 8), dtype=np.uint8)
+        padded[:, :, : bits.shape[2]] = bits
+        return padded.view(_WORD_DTYPE)
+
+    def grid_fold_and(self, grid: np.ndarray, heights: int, rows: int, n_bits: int) -> int:
+        if heights == 0 or rows == 0:
+            return full_mask(n_bits)
+        l, n, words = grid.shape
+        sel = grid[np.ix_(_select_bools(heights, l), _select_bools(rows, n))]
+        return _unpack_int(np.bitwise_and.reduce(sel.reshape(-1, words), axis=0))
+
+    def grid_fold_rows(self, grid: np.ndarray, heights: int, n_bits: int) -> list[int]:
+        l, n, words = grid.shape
+        if heights == 0:
+            return [full_mask(n_bits)] * n
+        folded = np.bitwise_and.reduce(grid[_select_bools(heights, l)], axis=0)
+        return [_unpack_int(folded[i]) for i in range(n)]
+
+    def grid_supporting_heights(
+        self, grid: np.ndarray, rows: int, columns: int, candidates: int | None = None
+    ) -> int:
+        l, n, words = grid.shape
+        if candidates is None:
+            candidates = full_mask(l)
+        if candidates == 0:
+            return 0
+        if rows == 0:
+            return candidates
+        cand = _select_bools(candidates, l)
+        sub = grid[np.ix_(cand, _select_bools(rows, n))]
+        col_words = _pack_int(columns, words)
+        ok = ((col_words & ~sub) == 0).all(axis=(1, 2))
+        supported = np.zeros(l, dtype=bool)
+        supported[cand] = ok
+        return _mask_from_bools(supported)
+
+    def grid_supporting_rows(
+        self, grid: np.ndarray, heights: int, columns: int, candidates: int | None = None
+    ) -> int:
+        l, n, words = grid.shape
+        if candidates is None:
+            candidates = full_mask(n)
+        if candidates == 0:
+            return 0
+        if heights == 0:
+            return candidates
+        cand = _select_bools(candidates, n)
+        sub = grid[np.ix_(_select_bools(heights, l), cand)]
+        col_words = _pack_int(columns, words)
+        ok = ((col_words & ~sub) == 0).all(axis=(0, 2))
+        supported = np.zeros(n, dtype=bool)
+        supported[cand] = ok
+        return _mask_from_bools(supported)
+
+    # ------------------------------------------------------------------
+    # Cutters
+    # ------------------------------------------------------------------
+    def pack_cutters(
+        self,
+        heights: Sequence[int],
+        rows: Sequence[int],
+        columns: Sequence[int],
+        shape: tuple[int, int, int],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, tuple[int, int, int]]:
+        l, n, m = shape
+        words = _n_words(m)
+        h = np.asarray(heights, dtype=np.int64)
+        r = np.asarray(rows, dtype=np.int64)
+        cols = np.empty((len(columns), words), dtype=_WORD_DTYPE)
+        for i, mask in enumerate(columns):
+            cols[i] = _pack_int(mask, words)
+        # Pre-split the height/row indices into (word, bit) addresses so
+        # the per-node scan is pure vectorized gathers.
+        return (
+            (h >> 6).astype(np.int64),
+            (h & 63).astype(np.uint64),
+            (r >> 6).astype(np.int64),
+            (r & 63).astype(np.uint64),
+            cols,
+            shape,
+        )
+
+    def first_applicable_cutter(
+        self, handle: Any, heights: int, rows: int, columns: int, start: int
+    ) -> int:
+        h_word, h_bit, r_word, r_bit, cols, (l, n, m) = handle
+        n_cutters = len(h_word)
+        if start >= n_cutters:
+            return n_cutters
+        height_words = _pack_int(heights, _n_words(l))
+        row_words = _pack_int(rows, _n_words(n))
+        col_words = _pack_int(columns, cols.shape[1])
+        tail = slice(start, None)
+        applicable = (
+            ((height_words[h_word[tail]] >> h_bit[tail]) & 1).astype(bool)
+            & ((row_words[r_word[tail]] >> r_bit[tail]) & 1).astype(bool)
+            & (cols[tail] & col_words).any(axis=1)
+        )
+        hits = np.flatnonzero(applicable)
+        return start + int(hits[0]) if hits.size else n_cutters

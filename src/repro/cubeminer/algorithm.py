@@ -128,6 +128,14 @@ def _run(
     min_h, min_r, min_c = thresholds.as_tuple()
     min_volume = thresholds.min_volume
     n_cutters = len(cutters)
+    kernel = dataset.kernel
+    cutter_handle = kernel.pack_cutters(
+        [cutter.height for cutter in cutters],
+        [cutter.row for cutter in cutters],
+        [cutter.columns for cutter in cutters],
+        dataset.shape,
+    )
+    first_applicable = kernel.first_applicable_cutter
     found: list[Cube] = []
     push = stack.append
     pop = stack.pop
@@ -136,20 +144,13 @@ def _run(
         (heights, rows, columns), index, track_left, track_middle = pop()
         stats.nodes_visited += 1
         # Skip cutters that do not intersect this node (Algorithm 2, line 6).
-        while index < n_cutters:
-            cutter = cutters[index]
-            if (
-                heights >> cutter.height & 1
-                and rows >> cutter.row & 1
-                and columns & cutter.columns
-            ):
-                break
-            index += 1
-        else:
+        index = first_applicable(cutter_handle, heights, rows, columns, index)
+        if index == n_cutters:
             # Survived every cutter: all-ones, closed, frequent (Theorem 2).
             stats.leaves_emitted += 1
             found.append(Cube(heights, rows, columns))
             continue
+        cutter = cutters[index]
 
         left_atom = 1 << cutter.height
         middle_atom = 1 << cutter.row

@@ -7,45 +7,37 @@ height ``h`` outside ``H'`` has no zero inside ``R' x C'``, then
 never become height-closed — prune it (Lemma 4).  Symmetrically for an
 absent row (Lemma 5).
 
-The paper phrases the test over cutters; here each (height, row) pair
-carries its zero-column mask directly (an absent cutter is the zero
-mask 0), so one ``&`` per pair decides it.
+"``h`` has no zero inside ``R' x C'``" is exactly "``h`` supports
+``R' x C'``", so both lemmas are one kernel support sweep restricted to
+the elements outside the node: the node is closed iff no outside
+candidate supports it.
 """
 
 from __future__ import annotations
 
-from ..core.bitset import iter_bits
+from ..core.bitset import full_mask
 from ..core.dataset import Dataset3D
 
 __all__ = ["height_set_closed", "row_set_closed"]
 
 
 def height_set_closed(dataset: Dataset3D, heights: int, rows: int, columns: int) -> bool:
-    """Lemma 4 (Hcheck): False when some absent height covers R' x C'.
-
-    A height ``h`` outside ``heights`` "covers" the node when every row
-    of ``rows`` has no zero within ``columns`` on slice ``h`` — in that
-    case the node is unclosed in the height set.
-    """
-    for h in range(dataset.n_heights):
-        if heights >> h & 1:
-            continue
-        for i in iter_bits(rows):
-            if dataset.zeros_mask(h, i) & columns:
-                break
-        else:
-            return False
-    return True
+    """Lemma 4 (Hcheck): False when some absent height covers R' x C'."""
+    outside = full_mask(dataset.n_heights) & ~heights
+    return (
+        dataset.kernel.grid_supporting_heights(
+            dataset.ones_grid(), rows, columns, candidates=outside
+        )
+        == 0
+    )
 
 
 def row_set_closed(dataset: Dataset3D, heights: int, rows: int, columns: int) -> bool:
     """Lemma 5 (Rcheck): False when some absent row covers H' x C'."""
-    for i in range(dataset.n_rows):
-        if rows >> i & 1:
-            continue
-        for h in iter_bits(heights):
-            if dataset.zeros_mask(h, i) & columns:
-                break
-        else:
-            return False
-    return True
+    outside = full_mask(dataset.n_rows) & ~rows
+    return (
+        dataset.kernel.grid_supporting_rows(
+            dataset.ones_grid(), heights, columns, candidates=outside
+        )
+        == 0
+    )

@@ -24,7 +24,7 @@ sets feed the 3D height-closure post-pruning directly.
 
 from __future__ import annotations
 
-from ..core.bitset import bit_count, full_mask
+from ..core.bitset import bit_count, full_mask, is_subset
 from .base import FCPMiner, Pattern2D
 from .matrix import BinaryMatrix
 
@@ -56,7 +56,6 @@ def dminer_mine(
         return []
     cutters = build_cutters_2d(matrix)
     n_cutters = len(cutters)
-    zeros_by_row = [matrix.zeros_mask(i) for i in range(n)]
 
     found: list[Pattern2D] = []
     # Work items: (rows, columns, cutter_index, row_track).
@@ -84,23 +83,16 @@ def dminer_mine(
         if bit_count(son_rows) >= min_rows and not row_bit & track:
             push((son_rows, columns, next_index, track))
 
-        # Column son (R', C' \ Y): minC + row-closure check.
+        # Column son (R', C' \ Y): minC + row-closure check — no row
+        # outside R' may be all-ones on the new column set, i.e. the
+        # supporting rows of C' \ Y must all lie inside R' (one kernel
+        # subset sweep over the row-mask array).
         son_columns = columns & ~cutter_zeros
-        if bit_count(son_columns) >= min_columns and _rows_closed(
-            zeros_by_row, rows, son_columns
+        if bit_count(son_columns) >= min_columns and is_subset(
+            matrix.support_rows(son_columns), rows
         ):
             push((rows, son_columns, next_index, track | row_bit))
     return found
-
-
-def _rows_closed(zeros_by_row: list[int], rows: int, columns: int) -> bool:
-    """False when a row outside ``rows`` is all-ones on ``columns``."""
-    for i, zeros in enumerate(zeros_by_row):
-        if rows >> i & 1:
-            continue
-        if zeros & columns == 0:
-            return False
-    return True
 
 
 class DMiner(FCPMiner):

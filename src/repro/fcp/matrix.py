@@ -14,17 +14,30 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from ..core.bitset import bit_count, full_mask, indices
+from ..core.bitset import full_mask, indices
+from ..core.kernels import Kernel, resolve_kernel
 
 __all__ = ["BinaryMatrix"]
 
 
 class BinaryMatrix:
-    """An ``n x m`` boolean matrix stored as per-row column bitmasks."""
+    """An ``n x m`` boolean matrix stored as per-row column bitmasks.
 
-    __slots__ = ("_row_masks", "_n_columns", "_column_rows")
+    The batch support operations run on a kernel backend
+    (:mod:`repro.core.kernels`); representative slices inherit their
+    dataset's kernel.  The kernel never affects values, so equality and
+    hashing ignore it.
+    """
 
-    def __init__(self, row_masks: Sequence[int], n_columns: int) -> None:
+    __slots__ = ("_row_masks", "_n_columns", "_column_rows", "_kernel_spec", "_kernel", "_packed_rows")
+
+    def __init__(
+        self,
+        row_masks: Sequence[int],
+        n_columns: int,
+        *,
+        kernel: str | Kernel | None = None,
+    ) -> None:
         universe = full_mask(n_columns)
         masks = list(row_masks)
         for i, mask in enumerate(masks):
@@ -35,17 +48,26 @@ class BinaryMatrix:
         self._row_masks = masks
         self._n_columns = n_columns
         self._column_rows: list[int] | None = None
+        self._kernel_spec = kernel
+        self._kernel: Kernel | None = None
+        self._packed_rows = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_row_masks(cls, row_masks: Sequence[int], n_columns: int) -> "BinaryMatrix":
+    def from_row_masks(
+        cls,
+        row_masks: Sequence[int],
+        n_columns: int,
+        *,
+        kernel: str | Kernel | None = None,
+    ) -> "BinaryMatrix":
         """Build from per-row column bitmasks (no copy semantics promised)."""
-        return cls(row_masks, n_columns)
+        return cls(row_masks, n_columns, kernel=kernel)
 
     @classmethod
-    def from_array(cls, array) -> "BinaryMatrix":
+    def from_array(cls, array, *, kernel: str | Kernel | None = None) -> "BinaryMatrix":
         """Build from a rank-2 array-like of 0/1 or bool values."""
         data = np.asarray(array)
         if data.ndim != 2:
@@ -56,7 +78,25 @@ class BinaryMatrix:
         for i in range(n):
             packed = np.packbits(data[i], bitorder="little").tobytes()
             masks.append(int.from_bytes(packed, "little"))
-        return cls(masks, m)
+        return cls(masks, m, kernel=kernel)
+
+    # ------------------------------------------------------------------
+    # Kernel backend
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> Kernel:
+        """The bitset backend serving this matrix (resolved lazily)."""
+        if self._kernel is None:
+            self._kernel = resolve_kernel(self._kernel_spec)
+        return self._kernel
+
+    def packed_rows(self):
+        """Kernel-native handle over the row masks (built once)."""
+        if self._packed_rows is None:
+            self._packed_rows = self.kernel.pack_masks(
+                self._row_masks, self._n_columns
+            )
+        return self._packed_rows
 
     # ------------------------------------------------------------------
     # Shape / access
@@ -114,25 +154,17 @@ class BinaryMatrix:
         total = self.n_rows * self._n_columns
         if total == 0:
             return 0.0
-        return sum(bit_count(mask) for mask in self._row_masks) / total
+        return sum(self.kernel.popcounts(self.packed_rows())) / total
 
     def support_columns(self, rows: int) -> int:
         """Columns that are 1 on every row of the ``rows`` bitmask."""
-        acc = full_mask(self._n_columns)
-        remaining = rows
-        while remaining and acc:
-            low = remaining & -remaining
-            acc &= self._row_masks[low.bit_length() - 1]
-            remaining ^= low
-        return acc
+        return self.kernel.fold_and(
+            self.packed_rows(), self._n_columns, select=rows
+        )
 
     def support_rows(self, columns: int) -> int:
         """Rows whose mask contains every column of ``columns``."""
-        result = 0
-        for i, mask in enumerate(self._row_masks):
-            if columns & ~mask == 0:
-                result |= 1 << i
-        return result
+        return self.kernel.supersets_of(self.packed_rows(), columns)
 
     def to_array(self) -> np.ndarray:
         """Expand back to a boolean numpy array."""
@@ -141,6 +173,25 @@ class BinaryMatrix:
             for j in indices(mask):
                 out[i, j] = True
         return out
+
+    # ------------------------------------------------------------------
+    # Pickling (drop kernel-native caches; keep the kernel by name)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        spec = self._kernel_spec
+        return {
+            "row_masks": self._row_masks,
+            "n_columns": self._n_columns,
+            "kernel": spec.name if isinstance(spec, Kernel) else spec,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._row_masks = state["row_masks"]
+        self._n_columns = state["n_columns"]
+        self._column_rows = None
+        self._kernel_spec = state.get("kernel")
+        self._kernel = None
+        self._packed_rows = None
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BinaryMatrix):

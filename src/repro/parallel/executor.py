@@ -25,6 +25,7 @@ from multiprocessing import get_context
 from ..core.constraints import Thresholds
 from ..core.cube import Cube
 from ..core.dataset import Dataset3D
+from ..core.kernels import Kernel
 from ..core.permute import map_cube_from_transposed, order_moving_axis_first
 from ..core.result import MiningResult
 from ..cubeminer.algorithm import CubeMinerStats, _run
@@ -46,9 +47,18 @@ _worker_fcp_name: str = "dminer"
 _worker_cutters: list[Cutter] | None = None
 
 
-def _init_rsm_worker(dataset: Dataset3D, thresholds: Thresholds, fcp_name: str) -> None:
+def _init_rsm_worker(
+    dataset: Dataset3D,
+    thresholds: Thresholds,
+    fcp_name: str,
+    kernel_name: str | None = None,
+) -> None:
     global _worker_dataset, _worker_thresholds, _worker_fcp_name
-    _worker_dataset = dataset
+    # The dataset pickles its kernel spec, but an explicit name wins so a
+    # worker always inherits exactly the kernel the driver selected.
+    _worker_dataset = (
+        dataset if kernel_name is None else dataset.with_kernel(kernel_name)
+    )
     _worker_thresholds = thresholds
     _worker_fcp_name = fcp_name
 
@@ -76,10 +86,15 @@ def _rsm_worker_chunk(height_masks: list[int]) -> list[tuple[int, int, int]]:
 
 
 def _init_cubeminer_worker(
-    dataset: Dataset3D, thresholds: Thresholds, cutters: list[Cutter]
+    dataset: Dataset3D,
+    thresholds: Thresholds,
+    cutters: list[Cutter],
+    kernel_name: str | None = None,
 ) -> None:
     global _worker_dataset, _worker_thresholds, _worker_cutters
-    _worker_dataset = dataset
+    _worker_dataset = (
+        dataset if kernel_name is None else dataset.with_kernel(kernel_name)
+    )
     _worker_thresholds = thresholds
     _worker_cutters = cutters
 
@@ -119,12 +134,16 @@ def parallel_rsm_mine(
     base_axis: int | str = "auto",
     fcp_miner: str = "dminer",
     chunks_per_worker: int = 4,
+    kernel: str | Kernel | None = None,
 ) -> MiningResult:
     """Parallel RSM: fan representative-slice tasks across processes."""
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     get_fcp_miner(fcp_miner)  # validate the name before forking
     start = time.perf_counter()
+    if kernel is not None:
+        dataset = dataset.with_kernel(kernel)
+    kernel_name = dataset.kernel.name
     axis = resolve_base_axis(dataset, base_axis)
     axis_name = ("h", "r", "c")[axis]
     order = order_moving_axis_first(axis)
@@ -138,7 +157,7 @@ def parallel_rsm_mine(
     )
     raw: list[tuple[int, int, int]] = []
     if n_workers == 1 or len(tasks) <= 1:
-        _init_rsm_worker(working, working_thresholds, fcp_miner)
+        _init_rsm_worker(working, working_thresholds, fcp_miner, kernel_name)
         raw = _rsm_worker_chunk(tasks)
     else:
         chunks = _chunked(tasks, n_workers * chunks_per_worker)
@@ -146,7 +165,7 @@ def parallel_rsm_mine(
         with ctx.Pool(
             processes=n_workers,
             initializer=_init_rsm_worker,
-            initargs=(working, working_thresholds, fcp_miner),
+            initargs=(working, working_thresholds, fcp_miner, kernel_name),
         ) as pool:
             for part in pool.map(_rsm_worker_chunk, chunks):
                 raw.extend(part)
@@ -172,11 +191,15 @@ def parallel_cubeminer_mine(
     order: HeightOrder = HeightOrder.ZERO_DECREASING,
     min_tasks: int | None = None,
     chunks_per_worker: int = 4,
+    kernel: str | Kernel | None = None,
 ) -> MiningResult:
     """Parallel CubeMiner: fan tree branches across processes."""
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     start = time.perf_counter()
+    if kernel is not None:
+        dataset = dataset.with_kernel(kernel)
+    kernel_name = dataset.kernel.name
     cutters = build_cutters(dataset, order)
     if min_tasks is None:
         min_tasks = max(8 * n_workers, 1)
@@ -184,7 +207,7 @@ def parallel_cubeminer_mine(
 
     raw: list[tuple[int, int, int]] = []
     if n_workers == 1 or len(tasks) <= 1:
-        _init_cubeminer_worker(dataset, thresholds, cutters)
+        _init_cubeminer_worker(dataset, thresholds, cutters, kernel_name)
         raw = _cubeminer_worker_chunk(tasks)
     else:
         chunks = _chunked(tasks, n_workers * chunks_per_worker)
@@ -192,7 +215,7 @@ def parallel_cubeminer_mine(
         with ctx.Pool(
             processes=n_workers,
             initializer=_init_cubeminer_worker,
-            initargs=(dataset, thresholds, cutters),
+            initargs=(dataset, thresholds, cutters, kernel_name),
         ) as pool:
             for part in pool.map(_cubeminer_worker_chunk, chunks):
                 raw.extend(part)

@@ -11,7 +11,7 @@ candidate slice, one fully-covering slice dismisses the pattern.
 
 from __future__ import annotations
 
-from ..core.bitset import iter_bits
+from ..core.bitset import full_mask
 from ..core.dataset import Dataset3D
 
 __all__ = ["height_closed_in", "PostPruneStats"]
@@ -20,20 +20,17 @@ __all__ = ["height_closed_in", "PostPruneStats"]
 def height_closed_in(dataset: Dataset3D, heights: int, rows: int, columns: int) -> bool:
     """True when no height outside ``heights`` covers ``rows x columns``.
 
-    This is Lemma 1's retention condition; it is the same predicate as
-    CubeMiner's Hcheck (Lemma 4) and shares its early-termination
-    structure: the inner loop stops at the first zero cell, the outer
-    loop stops at the first covering slice.
+    This is Lemma 1's retention condition — the same predicate as
+    CubeMiner's Hcheck (Lemma 4): one kernel support sweep over the
+    heights outside the subset must come back empty.
     """
-    for h in range(dataset.n_heights):
-        if heights >> h & 1:
-            continue
-        for i in iter_bits(rows):
-            if dataset.zeros_mask(h, i) & columns:
-                break
-        else:
-            return False
-    return True
+    outside = full_mask(dataset.n_heights) & ~heights
+    return (
+        dataset.kernel.grid_supporting_heights(
+            dataset.ones_grid(), rows, columns, candidates=outside
+        )
+        == 0
+    )
 
 
 class PostPruneStats:

@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 from itertools import combinations
 
-from ..core.bitset import iter_bits, mask_of
+from ..core.bitset import mask_of
 from ..core.dataset import Dataset3D
 from ..fcp.matrix import BinaryMatrix
 
@@ -50,17 +50,20 @@ def count_height_subsets(n_heights: int, min_h: int) -> int:
 
 
 def representative_slice(dataset: Dataset3D, heights: int) -> BinaryMatrix:
-    """AND the height slices of ``heights`` into one representative slice."""
+    """AND the height slices of ``heights`` into one representative slice.
+
+    The fold runs on the dataset's kernel backend (one batched AND over
+    the selected slices of the mask grid), and the resulting matrix
+    inherits that kernel for its own support operations.
+    """
     if heights == 0:
         raise ValueError("a representative slice needs at least one height")
-    member_iter = iter_bits(heights)
-    first = next(member_iter)
-    masks = list(dataset.slice_row_masks(first))
-    for k in member_iter:
-        slice_masks = dataset.slice_row_masks(k)
-        for i, mask in enumerate(slice_masks):
-            masks[i] &= mask
-    return BinaryMatrix.from_row_masks(masks, dataset.n_columns)
+    masks = dataset.kernel.grid_fold_rows(
+        dataset.ones_grid(), heights, dataset.n_columns
+    )
+    return BinaryMatrix.from_row_masks(
+        masks, dataset.n_columns, kernel=dataset.kernel
+    )
 
 
 def iter_representative_slices(

@@ -126,6 +126,19 @@ class TestBoolConversion:
         with pytest.raises(ValueError):
             bitset.bools_from_mask(0b1000, 3)
 
+    def test_bools_from_mask_negative_n_raises_library_message(self):
+        # Regression: a negative universe used to leak Python's internal
+        # "negative shift count" instead of the library's validation.
+        with pytest.raises(ValueError, match="universe size must be non-negative"):
+            bitset.bools_from_mask(0b1, -1)
+
+    def test_bools_from_mask_negative_n_zero_mask_raises(self):
+        with pytest.raises(ValueError, match="universe size must be non-negative"):
+            bitset.bools_from_mask(0, -5)
+
+    def test_bools_from_mask_zero_universe(self):
+        assert bitset.bools_from_mask(0, 0) == []
+
     def test_round_trip(self):
         flags = [True, True, False, True, False]
         mask = bitset.mask_from_bools(flags)
