@@ -9,7 +9,9 @@ visible before it shows up (amplified) in the figure benches:
 * the Lemma-4/5 checks,
 * cutter-list construction,
 * representative-slice generation,
-* one 2D D-Miner call on a dense slice.
+* one 2D D-Miner call on a dense slice,
+* the CubeMiner hot path with and without a no-op event sink (the
+  instrumentation premium ``benchmarks/bench_overhead.py`` gates in CI).
 """
 
 from __future__ import annotations
@@ -19,10 +21,14 @@ import pytest
 from common import elutriation_bench
 from repro.core.bitset import full_mask, mask_of
 from repro.core.closure import column_support, height_support, row_support
+from repro.core.constraints import Thresholds
 from repro.core.dataset import Dataset3D
+from repro.cubeminer.algorithm import cubeminer_mine
 from repro.cubeminer.checks import height_set_closed, row_set_closed
 from repro.cubeminer.cutter import HeightOrder, build_cutters
+from repro.datasets import random_tensor
 from repro.fcp import dminer_mine
+from repro.obs import null_sink
 from repro.rsm.slices import representative_slice
 
 
@@ -95,3 +101,22 @@ def test_micro_dminer_dense_slice(benchmark, dataset):
         dminer_mine, args=(rs, 3, 20), rounds=3, iterations=1
     )
     assert isinstance(patterns, list)
+
+
+@pytest.fixture(scope="module")
+def hotpath_dataset():
+    """Small-but-busy tensor for whole-run instrumentation benches."""
+    return random_tensor((6, 10, 32), 0.45, seed=11)
+
+
+@pytest.mark.parametrize("sink", [None, null_sink], ids=["no-sink", "null-sink"])
+def test_micro_cubeminer_hot_path(benchmark, hotpath_dataset, sink):
+    """CubeMiner end to end; the null-sink variant prices the event stream."""
+    result = benchmark.pedantic(
+        cubeminer_mine,
+        args=(hotpath_dataset, Thresholds(2, 2, 2)),
+        kwargs={"on_event": sink},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.stats["nodes_visited"] > 0

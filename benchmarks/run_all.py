@@ -13,6 +13,13 @@ With ``--json``, additionally writes ``<output_dir>/results.json``
 holding, per module, the wall-clock seconds of its sweep and the table
 text split into lines — a machine-readable record downstream tooling
 can diff across runs without re-parsing aligned columns.
+
+With ``--metrics`` (implies ``--json``), results.json also gains a
+``metrics`` section: instrumented reference runs of CubeMiner and RSM
+on the standard bench datasets, recording the full
+:class:`repro.obs.MiningMetrics` counter set (per-lemma prune hits,
+sons, kernel ops) so the BENCH record captures prune-rule
+effectiveness alongside timings.
 """
 
 from __future__ import annotations
@@ -47,7 +54,37 @@ MODULES = [
 ]
 
 
-def main(output_dir: str | None = None, write_json: bool = False) -> None:
+def _collect_metrics() -> dict[str, dict]:
+    """Instrumented reference runs recording prune-rule effectiveness."""
+    from common import cdc15_bench, elutriation_bench, scale_minc
+    from repro.api import mine
+    from repro.core.constraints import Thresholds
+
+    runs = {
+        "elutriation-cubeminer": ("cubeminer", elutriation_bench(),
+                                  Thresholds(4, 4, scale_minc(40, 7161))),
+        "elutriation-rsm": ("rsm", elutriation_bench(),
+                            Thresholds(4, 4, scale_minc(40, 7161))),
+        "cdc15-cubeminer": ("cubeminer", cdc15_bench(),
+                            Thresholds(5, 4, scale_minc(40, 7761))),
+    }
+    section: dict[str, dict] = {}
+    for name, (algorithm, dataset, thresholds) in runs.items():
+        result = mine(dataset, thresholds, algorithm=algorithm)
+        section[name] = {
+            "algorithm": result.algorithm,
+            "n_cubes": len(result),
+            "elapsed_seconds": round(result.elapsed_seconds, 3),
+            "stats": result.stats.to_dict(),
+        }
+    return section
+
+
+def main(
+    output_dir: str | None = None,
+    write_json: bool = False,
+    with_metrics: bool = False,
+) -> None:
     out_root = Path(output_dir or Path(__file__).parent / "results")
     out_root.mkdir(parents=True, exist_ok=True)
     grand_start = time.perf_counter()
@@ -69,11 +106,14 @@ def main(output_dir: str | None = None, write_json: bool = False) -> None:
             "table_lines": text.splitlines(),
         }
     total = time.perf_counter() - grand_start
-    if write_json:
+    if write_json or with_metrics:
         payload = {
             "total_seconds": round(total, 3),
             "modules": records,
         }
+        if with_metrics:
+            print("### collecting instrumentation metrics ###")
+            payload["metrics"] = _collect_metrics()
         json_path = out_root / "results.json"
         json_path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"json results in {json_path}")
@@ -86,5 +126,8 @@ if __name__ == "__main__":
                         help="where to write the tables (default benchmarks/results/)")
     parser.add_argument("--json", action="store_true",
                         help="also write machine-readable results.json")
+    parser.add_argument("--metrics", action="store_true",
+                        help="add instrumented prune-rule counters to "
+                             "results.json (implies --json)")
     args = parser.parse_args()
-    main(args.output_dir, write_json=args.json)
+    main(args.output_dir, write_json=args.json, with_metrics=args.metrics)

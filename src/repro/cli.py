@@ -15,12 +15,17 @@ Subcommands::
     repro-fcc example   — reproduce the paper's running example tables
 
 Every command prints human-readable text to stdout; ``mine`` exits 0
-even when no cube is found (an empty result is a valid answer).
+even when no cube is found (an empty result is a valid answer).  The
+mining commands accept ``--progress`` (periodic status on stderr),
+``--deadline SECONDS`` (cooperative wall-clock budget; a run cut short
+exits 124 after printing its partial result) and ``--metrics-json PATH``
+(dump the run's instrumentation counters).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
@@ -38,6 +43,12 @@ from .datasets import (
     random_tensor,
 )
 from .fcp import FCP_MINERS
+from .obs import MiningCancelled
+from .options import CubeMinerOptions, ParallelOptions, ReferenceOptions, RSMOptions
+
+#: Exit code of a run cancelled by ``--deadline`` (same convention as
+#: timeout(1)).
+EXIT_DEADLINE = 124
 
 __all__ = ["main", "build_parser"]
 
@@ -155,6 +166,13 @@ def _add_mine_arguments(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--kernel", choices=available_kernels(), default=None,
                      help="bitset kernel backend (default: $REPRO_KERNEL "
                           "or python-int)")
+    cmd.add_argument("--progress", action="store_true",
+                     help="print periodic progress lines to stderr")
+    cmd.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                     help="wall-clock budget; a cancelled run prints its "
+                          f"partial result and exits {EXIT_DEADLINE}")
+    cmd.add_argument("--metrics-json", default=None, metavar="PATH",
+                     help="write the run's instrumentation counters as JSON")
 
 
 def _generate(args: argparse.Namespace) -> int:
@@ -183,27 +201,74 @@ def _load(path: str) -> Dataset3D:
         raise SystemExit(f"error: dataset file not found: {path}")
 
 
+def _options_from_args(args: argparse.Namespace):
+    """Build the typed options dataclass for the selected algorithm."""
+    if args.algorithm == "cubeminer":
+        return CubeMinerOptions(order=HeightOrder(args.order))
+    if args.algorithm == "rsm":
+        return RSMOptions(base_axis=args.base_axis, fcp_miner=args.fcp_miner)
+    if args.algorithm == "parallel-rsm":
+        return ParallelOptions(
+            n_workers=args.workers,
+            base_axis=args.base_axis,
+            fcp_miner=args.fcp_miner,
+        )
+    if args.algorithm == "parallel-cubeminer":
+        return ParallelOptions(
+            n_workers=args.workers, order=HeightOrder(args.order)
+        )
+    return ReferenceOptions()
+
+
+def _print_progress(update) -> None:
+    print(f"[progress] {update.format()}", file=sys.stderr, flush=True)
+
+
+def _write_metrics_json(args: argparse.Namespace, result) -> None:
+    path = getattr(args, "metrics_json", None)
+    if not path:
+        return
+    payload = {
+        "algorithm": result.algorithm,
+        "dataset_shape": list(result.dataset_shape),
+        "n_cubes": len(result),
+        "elapsed_seconds": result.elapsed_seconds,
+        "stats": result.stats.to_dict(),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote metrics to {path}")
+
+
 def _mine_with_args(args: argparse.Namespace):
     dataset = _load(args.input)
     thresholds = Thresholds(
         args.min_h, args.min_r, args.min_c, min_volume=args.min_volume
     )
-    options = {}
-    if args.algorithm == "cubeminer":
-        options["order"] = HeightOrder(args.order)
-    elif args.algorithm == "rsm":
-        options["base_axis"] = args.base_axis
-        options["fcp_miner"] = args.fcp_miner
-    elif args.algorithm == "parallel-rsm":
-        options["base_axis"] = args.base_axis
-        options["fcp_miner"] = args.fcp_miner
-        options["n_workers"] = args.workers
-    elif args.algorithm == "parallel-cubeminer":
-        options["order"] = HeightOrder(args.order)
-        options["n_workers"] = args.workers
+    kwargs = {}
     if args.kernel:
-        options["kernel"] = args.kernel
-    result = mine(dataset, thresholds, algorithm=args.algorithm, **options)
+        kwargs["kernel"] = args.kernel
+    if getattr(args, "progress", False):
+        kwargs["progress"] = _print_progress
+    if getattr(args, "deadline", None) is not None:
+        kwargs["deadline"] = args.deadline
+    try:
+        result = mine(
+            dataset,
+            thresholds,
+            algorithm=args.algorithm,
+            options=_options_from_args(args),
+            **kwargs,
+        )
+    except MiningCancelled as exc:
+        print(f"mining cancelled: {exc.reason}", file=sys.stderr)
+        if exc.partial is not None:
+            print("partial result:")
+            print(exc.partial.summary())
+            _write_metrics_json(args, exc.partial)
+        raise SystemExit(EXIT_DEADLINE)
+    _write_metrics_json(args, result)
     return dataset, result
 
 

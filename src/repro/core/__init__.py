@@ -20,7 +20,7 @@ from .kernels import (
     resolve_kernel,
 )
 from .reference import reference_mine
-from .result import MiningResult
+from .result import MiningResult, MiningStats
 from .verify import VerificationReport, Violation, verify_result
 
 __all__ = [
@@ -44,6 +44,7 @@ __all__ = [
     "resolve_kernel",
     "reference_mine",
     "MiningResult",
+    "MiningStats",
     "VerificationReport",
     "Violation",
     "verify_result",

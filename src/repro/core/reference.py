@@ -12,12 +12,20 @@ from __future__ import annotations
 import time
 from itertools import combinations
 
+from ..obs import (
+    EventSink,
+    MineDone,
+    MineStart,
+    MiningCancelled,
+    MiningMetrics,
+    resolve_progress,
+)
 from .bitset import bit_count, mask_of
 from .closure import column_support, height_support, row_support
 from .constraints import Thresholds
 from .cube import Cube
 from .dataset import Dataset3D
-from .result import MiningResult
+from .result import MiningResult, MiningStats
 
 __all__ = ["reference_mine"]
 
@@ -25,12 +33,26 @@ __all__ = ["reference_mine"]
 #: mis-written test fails fast instead of hanging.
 _MAX_ENUMERATED_BITS = 26
 
+#: Candidates between two cancellation/deadline checks.
+_CHECK_EVERY = 512
 
-def reference_mine(dataset: Dataset3D, thresholds: Thresholds) -> MiningResult:
+
+def reference_mine(
+    dataset: Dataset3D,
+    thresholds: Thresholds,
+    *,
+    metrics: MiningMetrics | None = None,
+    on_event: EventSink | None = None,
+    progress=None,
+    deadline: float | None = None,
+) -> MiningResult:
     """Mine all FCCs by exhaustive subset enumeration.
 
     Correct by construction (it literally checks Definition 3.2 and 3.3
-    for every candidate) and therefore the ground truth in tests.
+    for every candidate) and therefore the ground truth in tests.  The
+    oracle shares :func:`repro.api.mine`'s instrumentation surface so
+    long differential runs can be observed and deadline-bounded like
+    any other algorithm.
     """
     l, n, _m = dataset.shape
     if l + n > _MAX_ENUMERATED_BITS:
@@ -39,6 +61,16 @@ def reference_mine(dataset: Dataset3D, thresholds: Thresholds) -> MiningResult:
             "large for the oracle — use CubeMiner or RSM instead"
         )
     start = time.perf_counter()
+    stats = metrics if metrics is not None else MiningMetrics()
+    controller = resolve_progress(progress, deadline)
+    if on_event is not None:
+        on_event(
+            MineStart(
+                "reference",
+                dataset.shape,
+                thresholds.as_tuple() + (thresholds.min_volume,),
+            )
+        )
     found: set[Cube] = set()
     height_subsets = [
         mask_of(subset)
@@ -51,25 +83,54 @@ def reference_mine(dataset: Dataset3D, thresholds: Thresholds) -> MiningResult:
         for subset in combinations(range(n), size)
     ]
     checked = 0
-    for heights in height_subsets:
-        for rows in row_subsets:
-            checked += 1
-            columns = column_support(dataset, heights, rows)
-            if bit_count(columns) < thresholds.min_c:
-                continue
-            # Maximality in the other two axes (closure conditions 1 & 3).
-            if height_support(dataset, rows, columns) != heights:
-                continue
-            if row_support(dataset, heights, columns) != rows:
-                continue
-            cube = Cube(heights, rows, columns)
-            if thresholds.satisfied_by(cube):
-                found.add(cube)
-    return MiningResult(
+    total = len(height_subsets) * len(row_subsets)
+    try:
+        if controller is not None:
+            controller.checkpoint(stats, phase="reference", done=0, total=total)
+        for heights in height_subsets:
+            for rows in row_subsets:
+                checked += 1
+                stats.nodes_visited += 1
+                stats.kernel_ops += 1
+                if controller is not None and not checked % _CHECK_EVERY:
+                    controller.checkpoint(
+                        stats, phase="reference", done=checked, total=total
+                    )
+                columns = column_support(dataset, heights, rows)
+                if bit_count(columns) < thresholds.min_c:
+                    continue
+                # Maximality in the other two axes (closure conditions 1 & 3).
+                stats.kernel_ops += 2
+                if height_support(dataset, rows, columns) != heights:
+                    continue
+                if row_support(dataset, heights, columns) != rows:
+                    continue
+                cube = Cube(heights, rows, columns)
+                if thresholds.satisfied_by(cube):
+                    stats.leaves_emitted += 1
+                    found.add(cube)
+    except MiningCancelled as exc:
+        elapsed = time.perf_counter() - start
+        exc.metrics = stats
+        exc.partial = MiningResult(
+            cubes=list(found),
+            algorithm="reference",
+            thresholds=thresholds,
+            dataset_shape=dataset.shape,
+            elapsed_seconds=elapsed,
+            stats=MiningStats(metrics=stats, extra={"candidates_checked": checked}),
+        )
+        if on_event is not None:
+            on_event(MineDone("reference", len(exc.partial), elapsed, cancelled=True))
+        raise
+    result = MiningResult(
         cubes=list(found),
         algorithm="reference",
         thresholds=thresholds,
         dataset_shape=dataset.shape,
         elapsed_seconds=time.perf_counter() - start,
-        stats={"candidates_checked": checked},
+        stats=MiningStats(metrics=stats, extra={"candidates_checked": checked}),
     )
+    if on_event is not None:
+        on_event(MineDone("reference", len(result), result.elapsed_seconds))
+    return result

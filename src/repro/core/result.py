@@ -2,21 +2,114 @@
 
 Every miner in the library returns a :class:`MiningResult`: the set of
 frequent closed cubes plus provenance (algorithm name, thresholds,
-dataset shape, wall-clock time, algorithm-specific counters).  Results
-compare as *sets of cubes* regardless of discovery order, which is what
-the cross-algorithm equivalence tests rely on.
+dataset shape, wall-clock time, run counters).  Results compare as
+*sets of cubes* regardless of discovery order, which is what the
+cross-algorithm equivalence tests rely on.
+
+Run counters live in :class:`MiningStats`: the always-on
+:class:`~repro.obs.metrics.MiningMetrics` counter set plus a small
+``extra`` dict of algorithm-specific values.  ``MiningStats`` keeps the
+historical dict-style access (``result.stats["nodes_visited"]``,
+``.items()``, ``in``) and adds a stable JSON schema via
+:meth:`MiningStats.to_dict` / :meth:`MiningStats.from_dict`.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, MutableMapping
 from dataclasses import dataclass, field
 
+from ..obs.metrics import MiningMetrics
 from .constraints import Thresholds
 from .cube import Cube
 from .dataset import Dataset3D
 
-__all__ = ["MiningResult"]
+__all__ = ["MiningStats", "MiningResult"]
+
+
+@dataclass
+class MiningStats(MutableMapping):
+    """Counters of one mining run, with dict-style access.
+
+    ``metrics`` holds the always-on counter set (``None`` for results
+    rebuilt from legacy payloads that never carried one); ``extra``
+    holds algorithm-specific values (``n_workers``, legacy key aliases,
+    ...).  The mapping view is the union of all metric fields and the
+    extras, with extras winning on key clashes.
+    """
+
+    #: Version tag of the :meth:`to_dict` JSON schema.
+    SCHEMA_VERSION = 1
+
+    metrics: MiningMetrics | None = None
+    extra: dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Mapping protocol (backward-compatible dict-style access)
+    # ------------------------------------------------------------------
+    def _combined(self) -> dict[str, object]:
+        data: dict[str, object] = (
+            self.metrics.as_dict() if self.metrics is not None else {}
+        )
+        data.update(self.extra)
+        return data
+
+    def __getitem__(self, key: str) -> object:
+        if key in self.extra:
+            return self.extra[key]
+        if self.metrics is not None and hasattr(self.metrics, key):
+            return getattr(self.metrics, key)
+        raise KeyError(key)
+
+    def __setitem__(self, key: str, value: object) -> None:
+        self.extra[key] = value
+
+    def __delitem__(self, key: str) -> None:
+        del self.extra[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._combined())
+
+    def __len__(self) -> int:
+        return len(self._combined())
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.extra or (
+            isinstance(key, str)
+            and self.metrics is not None
+            and hasattr(self.metrics, key)
+        )
+
+    # ------------------------------------------------------------------
+    # Stable JSON schema
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """Serialize with a stable, versioned schema."""
+        return {
+            "schema": self.SCHEMA_VERSION,
+            "metrics": self.metrics.as_dict() if self.metrics is not None else None,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: "dict | MiningStats | None") -> "MiningStats":
+        """Rebuild from :meth:`to_dict` output.
+
+        Legacy flat dicts (pre-schema results, e.g. old JSON files or
+        ad-hoc ``stats={...}`` constructions) load as ``extra`` so
+        every historical key keeps resolving.
+        """
+        if payload is None:
+            return cls()
+        if isinstance(payload, MiningStats):
+            return payload
+        if "schema" in payload and "metrics" in payload:
+            raw = payload.get("metrics")
+            return cls(
+                metrics=MiningMetrics.from_dict(raw) if raw is not None else None,
+                extra=dict(payload.get("extra") or {}),
+            )
+        return cls(extra=dict(payload))
 
 
 @dataclass
@@ -28,12 +121,15 @@ class MiningResult:
     thresholds: Thresholds | None = None
     dataset_shape: tuple[int, int, int] | None = None
     elapsed_seconds: float = 0.0
-    stats: dict[str, int | float] = field(default_factory=dict)
+    stats: MiningStats = field(default_factory=MiningStats)
 
     def __post_init__(self) -> None:
         # Canonicalize: drop duplicates, order deterministically.
         unique = {cube: None for cube in self.cubes}
         self.cubes = sorted(unique, key=Cube.sort_key)
+        if not isinstance(self.stats, MiningStats):
+            # Legacy callers pass plain dicts; keep them working.
+            self.stats = MiningStats.from_dict(self.stats)
 
     # ------------------------------------------------------------------
     # Collection protocol

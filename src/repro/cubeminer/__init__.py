@@ -3,7 +3,15 @@
 from .algorithm import CubeMiner, CubeMinerStats, cubeminer_mine
 from .checks import height_set_closed, row_set_closed
 from .cutter import Cutter, HeightOrder, build_cutters, height_permutation
-from .trace import Branch, PruneReason, TraceNode, render_tree, trace_tree
+from .trace import (
+    PRUNE_METRIC_FIELDS,
+    Branch,
+    PruneReason,
+    TraceNode,
+    prune_counts,
+    render_tree,
+    trace_tree,
+)
 
 __all__ = [
     "CubeMiner",
@@ -18,6 +26,8 @@ __all__ = [
     "Branch",
     "PruneReason",
     "TraceNode",
+    "PRUNE_METRIC_FIELDS",
+    "prune_counts",
     "render_tree",
     "trace_tree",
 ]

@@ -26,7 +26,15 @@ from ..core.dataset import Dataset3D
 from .checks import height_set_closed, row_set_closed
 from .cutter import Cutter, HeightOrder, build_cutters
 
-__all__ = ["Branch", "PruneReason", "TraceNode", "trace_tree", "render_tree"]
+__all__ = [
+    "Branch",
+    "PruneReason",
+    "TraceNode",
+    "trace_tree",
+    "render_tree",
+    "PRUNE_METRIC_FIELDS",
+    "prune_counts",
+]
 
 _MAX_TRACE_CELLS = 4096
 
@@ -51,6 +59,36 @@ class PruneReason(enum.Enum):
     MIDDLE_TRACK = "(b) middle atom already cut the path"
     HEIGHT_UNCLOSED = "(c) unclosed in height set"
     ROW_UNCLOSED = "(d) unclosed in row set"
+
+
+#: Which :class:`~repro.obs.metrics.MiningMetrics` counter the live
+#: miner increments for each :class:`PruneReason` — the bridge the
+#: metrics-parity tests use to reconcile always-on counters with a full
+#: trace of the same run.
+PRUNE_METRIC_FIELDS = {
+    PruneReason.MIN_H: "pruned_min_h",
+    PruneReason.MIN_R: "pruned_min_r",
+    PruneReason.MIN_C: "pruned_min_c",
+    PruneReason.MIN_VOLUME: "pruned_min_volume",
+    PruneReason.LEFT_TRACK: "pruned_left_track",
+    PruneReason.MIDDLE_TRACK: "pruned_middle_track",
+    PruneReason.HEIGHT_UNCLOSED: "pruned_height_unclosed",
+    PruneReason.ROW_UNCLOSED: "pruned_row_unclosed",
+}
+
+
+def prune_counts(root: "TraceNode") -> dict[str, int]:
+    """Tally a traced tree's prune reasons by metrics counter name.
+
+    The returned dict is directly comparable with
+    ``MiningMetrics.prune_counts()`` of a live run over the same
+    dataset, thresholds and cutter order.
+    """
+    counts = {name: 0 for name in PRUNE_METRIC_FIELDS.values()}
+    for node in root.iter_nodes():
+        if node.pruned is not None:
+            counts[PRUNE_METRIC_FIELDS[node.pruned]] += 1
+    return counts
 
 
 @dataclass

@@ -26,7 +26,7 @@ from pathlib import Path
 from .core.constraints import Thresholds
 from .core.cube import Cube
 from .core.dataset import Dataset3D
-from .core.result import MiningResult
+from .core.result import MiningResult, MiningStats
 
 __all__ = [
     "save_triples",
@@ -152,7 +152,7 @@ def result_to_json(result: MiningResult, dataset: Dataset3D | None = None) -> st
             list(result.thresholds.as_tuple()) if result.thresholds else None
         ),
         "elapsed_seconds": result.elapsed_seconds,
-        "stats": result.stats,
+        "stats": result.stats.to_dict(),
         "cubes": [
             {
                 "heights": list(cube.height_indices()),
@@ -188,7 +188,7 @@ def result_from_json(text: str) -> MiningResult:
         thresholds=thresholds,
         dataset_shape=tuple(shape) if shape else None,
         elapsed_seconds=payload.get("elapsed_seconds", 0.0),
-        stats=payload.get("stats", {}),
+        stats=MiningStats.from_dict(payload.get("stats") or {}),
     )
 
 

@@ -1,0 +1,46 @@
+"""Observability substrate: metrics, events, progress, cancellation.
+
+Every miner keeps a :class:`MiningMetrics` counter set up to date while
+it runs (always on — plain attribute increments), optionally emits
+typed events into an ``on_event`` sink, and honours a
+:class:`ProgressController` for periodic progress callbacks,
+cooperative cancellation and wall-clock deadlines.  See
+``docs/observability.md`` for the full tour.
+"""
+
+from .events import (
+    CollectingSink,
+    EventSink,
+    MineDone,
+    MineStart,
+    MiningEvent,
+    NodeEvent,
+    PruneEvent,
+    SliceEvent,
+    null_sink,
+)
+from .metrics import PRUNE_FIELDS, MiningMetrics
+from .progress import (
+    MiningCancelled,
+    ProgressController,
+    ProgressUpdate,
+    resolve_progress,
+)
+
+__all__ = [
+    "MiningMetrics",
+    "PRUNE_FIELDS",
+    "MineStart",
+    "MineDone",
+    "NodeEvent",
+    "PruneEvent",
+    "SliceEvent",
+    "MiningEvent",
+    "EventSink",
+    "CollectingSink",
+    "null_sink",
+    "MiningCancelled",
+    "ProgressController",
+    "ProgressUpdate",
+    "resolve_progress",
+]

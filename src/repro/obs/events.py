@@ -1,0 +1,120 @@
+"""Typed structured mining events.
+
+A miner emits events into an *event sink* — any callable taking one
+event — passed as ``mine(..., on_event=sink)``.  Events are small
+``NamedTuple`` records (cheap to build, so a sink costs little even on
+hot paths; with no sink attached nothing is ever constructed):
+
+* :class:`MineStart` / :class:`MineDone` — run lifecycle; ``MineDone``
+  is also emitted (with ``cancelled=True``) when a run is cancelled.
+* :class:`NodeEvent` — one CubeMiner tree node visited.
+* :class:`PruneEvent` — one candidate rejected, with the branch and the
+  prune rule that fired (``reason`` names the
+  :class:`~repro.obs.metrics.MiningMetrics` counter, e.g.
+  ``"pruned_left_track"``; RSM's Lemma-1 discards use
+  ``"postprune_discards"``).
+* :class:`SliceEvent` — one RSM representative slice mined.
+
+:class:`CollectingSink` gathers events in memory for tests and
+analysis; :func:`null_sink` discards them (used by the overhead guard).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, NamedTuple, Union
+
+__all__ = [
+    "MineStart",
+    "MineDone",
+    "NodeEvent",
+    "PruneEvent",
+    "SliceEvent",
+    "MiningEvent",
+    "EventSink",
+    "CollectingSink",
+    "null_sink",
+]
+
+
+class MineStart(NamedTuple):
+    """A mining run began."""
+
+    algorithm: str
+    dataset_shape: tuple[int, int, int]
+    thresholds: tuple[int, int, int, int]  # (min_h, min_r, min_c, min_volume)
+
+    kind = "start"
+
+
+class MineDone(NamedTuple):
+    """A mining run finished (or was cancelled)."""
+
+    algorithm: str
+    n_cubes: int
+    elapsed_seconds: float
+    cancelled: bool = False
+
+    kind = "done"
+
+
+class NodeEvent(NamedTuple):
+    """CubeMiner visited one node of the splitting tree."""
+
+    heights: int
+    rows: int
+    columns: int
+    cutter_index: int  # index of the first applicable cutter; == len(Z) at leaves
+    is_leaf: bool
+
+    kind = "node"
+
+
+class PruneEvent(NamedTuple):
+    """A candidate son (or combined RSM pattern) was discarded."""
+
+    branch: str  # "left" | "middle" | "right" | "postprune"
+    reason: str  # MiningMetrics counter name, e.g. "pruned_height_unclosed"
+    heights: int
+    rows: int
+    columns: int
+
+    kind = "prune"
+
+
+class SliceEvent(NamedTuple):
+    """RSM mined one representative slice."""
+
+    heights: int       # base-dimension subset mask
+    n_patterns: int    # 2D FCPs found on the slice
+    n_kept: int        # patterns surviving Lemma-1 post-pruning
+
+    kind = "slice"
+
+
+MiningEvent = Union[MineStart, MineDone, NodeEvent, PruneEvent, SliceEvent]
+
+#: An event sink is any callable accepting one :data:`MiningEvent`.
+EventSink = Callable[[MiningEvent], None]
+
+
+class CollectingSink:
+    """An event sink that appends every event to :attr:`events`."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[MiningEvent] = []
+
+    def __call__(self, event: MiningEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> list[MiningEvent]:
+        """All collected events with the given ``kind`` tag."""
+        return [event for event in self.events if event.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def null_sink(event: MiningEvent) -> None:
+    """Discard the event — a no-op sink for overhead measurement."""

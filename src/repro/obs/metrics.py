@@ -1,0 +1,123 @@
+"""Always-on mining counters.
+
+:class:`MiningMetrics` is the single counter set every miner in the
+library writes into while it runs: CubeMiner's search-tree counters
+(nodes, sons, the per-lemma prune rules of Lemmas 2-5), RSM's slice and
+post-prune counters (Lemma 1), and coarse kernel-operation tallies.
+The counters are plain integer attributes on a dataclass — incrementing
+them costs one attribute store, so they stay enabled on every run; the
+paper's prune-rule effectiveness becomes a first-class result instead
+of a debug-only re-run (``trace_tree`` remains for full per-node trees
+on small inputs).
+
+Parallel drivers merge the per-worker counter sets back into the
+parent's with :meth:`MiningMetrics.merge`, so a distributed run reports
+the same totals a sequential run would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["MiningMetrics", "PRUNE_FIELDS"]
+
+#: Counter fields that count prune-rule hits in CubeMiner's tree, in the
+#: order (thresholds, Lemma 2, Lemma 3, Lemma 4, Lemma 5).
+PRUNE_FIELDS = (
+    "pruned_min_h",
+    "pruned_min_r",
+    "pruned_min_c",
+    "pruned_min_volume",
+    "pruned_left_track",
+    "pruned_middle_track",
+    "pruned_height_unclosed",
+    "pruned_row_unclosed",
+)
+
+#: Fields merged with ``max`` instead of ``+`` (high-water marks).
+_MAX_FIELDS = frozenset({"max_stack_depth"})
+
+
+@dataclass
+class MiningMetrics:
+    """Counter set for one mining run (or one aggregated parallel run).
+
+    All fields are cumulative counts except ``max_stack_depth`` (a
+    high-water mark) and ``n_cutters`` (the size of the cutter list the
+    run used).  A single instance may be passed to ``mine(...,
+    metrics=)`` to observe a run in flight or to accumulate several
+    runs into one tally.
+    """
+
+    # -- CubeMiner search tree -----------------------------------------
+    n_cutters: int = 0
+    nodes_visited: int = 0
+    leaves_emitted: int = 0
+    sons_left: int = 0
+    sons_middle: int = 0
+    sons_right: int = 0
+    pruned_min_h: int = 0
+    pruned_min_r: int = 0
+    pruned_min_c: int = 0
+    pruned_min_volume: int = 0
+    pruned_left_track: int = 0        # Lemma 2
+    pruned_middle_track: int = 0      # Lemma 3
+    pruned_height_unclosed: int = 0   # Lemma 4 (Hcheck)
+    pruned_row_unclosed: int = 0      # Lemma 5 (Rcheck)
+    max_stack_depth: int = 0
+    cutters_built: int = 0
+    # -- RSM phases ----------------------------------------------------
+    rs_slices_mined: int = 0
+    fcp_patterns: int = 0
+    postprune_checked: int = 0
+    postprune_discards: int = 0       # Lemma 1
+    # -- substrate / parallel ------------------------------------------
+    kernel_ops: int = 0
+    workers_merged: int = 0
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain ``{field: value}`` dict."""
+        return dict(vars(self))
+
+    #: Stable-schema alias used by :class:`~repro.core.result.MiningStats`.
+    to_dict = as_dict
+
+    def prune_counts(self) -> dict[str, int]:
+        """The CubeMiner prune-rule counters (Figure 1's categories)."""
+        return {name: getattr(self, name) for name in PRUNE_FIELDS}
+
+    def total_pruned(self) -> int:
+        """Sum of all CubeMiner prune-rule hits."""
+        return sum(getattr(self, name) for name in PRUNE_FIELDS)
+
+    # ------------------------------------------------------------------
+    # Construction / aggregation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MiningMetrics":
+        """Rebuild from :meth:`as_dict` output; unknown keys are ignored
+        and missing keys default to zero (forward/backward compatible).
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: int(v) for k, v in payload.items() if k in known})
+
+    def merge(self, other: "MiningMetrics") -> "MiningMetrics":
+        """Fold another counter set into this one (in place).
+
+        Counters add; high-water marks take the max.  Used by the
+        parallel drivers to aggregate worker metrics into the parent's.
+        """
+        for f in fields(self):
+            theirs = getattr(other, f.name)
+            if f.name in _MAX_FIELDS:
+                setattr(self, f.name, max(getattr(self, f.name), theirs))
+            else:
+                setattr(self, f.name, getattr(self, f.name) + theirs)
+        return self
+
+    def copy(self) -> "MiningMetrics":
+        """An independent snapshot of the current counter values."""
+        return MiningMetrics(**self.as_dict())

@@ -1,0 +1,231 @@
+"""Progress reporting, cooperative cancellation and deadlines.
+
+A :class:`ProgressController` is threaded into a mining run via
+``mine(..., progress=)``.  The hot loops call :meth:`checkpoint`
+periodically (every :attr:`check_every` CubeMiner nodes, every RSM
+slice, every parallel chunk); the checkpoint
+
+* raises :class:`MiningCancelled` when :meth:`cancel` was called or the
+  wall-clock deadline has passed, and
+* invokes the ``on_progress`` callback (rate-limited to one call per
+  ``min_interval`` seconds) with a :class:`ProgressUpdate` snapshot.
+
+Cancellation is cooperative: the miner unwinds at the next checkpoint,
+attaching a :class:`~repro.core.result.MiningResult` with the cubes and
+metrics gathered so far to ``MiningCancelled.partial`` — a cancelled
+run still yields partial telemetry.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable, NamedTuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports obs)
+    from ..core.result import MiningResult
+    from .metrics import MiningMetrics
+
+__all__ = [
+    "MiningCancelled",
+    "ProgressUpdate",
+    "ProgressController",
+    "resolve_progress",
+]
+
+
+class MiningCancelled(RuntimeError):
+    """A mining run was cancelled (explicitly or by deadline).
+
+    Attributes
+    ----------
+    reason:
+        Human-readable cause (``"cancelled by caller"`` or
+        ``"deadline of Ns exceeded"``).
+    partial:
+        A :class:`~repro.core.result.MiningResult` holding the cubes
+        found and the metrics accumulated before cancellation (``None``
+        only when raised outside a miner).
+    metrics:
+        The live :class:`~repro.obs.metrics.MiningMetrics` of the
+        cancelled run, also reachable as ``partial.stats.metrics``.
+    """
+
+    def __init__(
+        self,
+        reason: str = "cancelled",
+        *,
+        partial: "MiningResult | None" = None,
+        metrics: "MiningMetrics | None" = None,
+    ) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.partial = partial
+        self.metrics = metrics
+        #: Internal relay: the raw cubes a hot loop had found when the
+        #: checkpoint fired; the owning driver converts these into
+        #: :attr:`partial` before the exception escapes ``mine()``.
+        self.partial_cubes: list = []
+
+
+class ProgressUpdate(NamedTuple):
+    """One progress snapshot handed to the ``on_progress`` callback."""
+
+    phase: str               # e.g. "cubeminer", "rsm", "parallel-rsm"
+    done: int                # work units finished (nodes, slices, chunks)
+    total: int | None        # known total, or None for open-ended search
+    elapsed_seconds: float
+    metrics: "MiningMetrics"
+
+    def format(self) -> str:
+        """Render as a one-line status message."""
+        of_total = f"/{self.total}" if self.total is not None else ""
+        return (
+            f"{self.phase}: {self.done}{of_total} units, "
+            f"{self.metrics.leaves_emitted} cube(s), "
+            f"{self.elapsed_seconds:.1f}s elapsed"
+        )
+
+
+class ProgressController:
+    """Cooperative progress/cancellation handle for one mining run.
+
+    Parameters
+    ----------
+    on_progress:
+        Optional callback receiving :class:`ProgressUpdate` snapshots,
+        at most once per ``min_interval`` seconds.
+    check_every:
+        CubeMiner checkpoint granularity in tree nodes (the RSM slice
+        loop and the parallel chunk loop checkpoint on every item
+        regardless).
+    min_interval:
+        Minimum seconds between two ``on_progress`` invocations.
+    deadline:
+        Optional wall-clock budget in seconds, measured from
+        construction; once exceeded, the next checkpoint raises
+        :class:`MiningCancelled`.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    __slots__ = (
+        "_on_progress",
+        "check_every",
+        "_min_interval",
+        "_deadline",
+        "_deadline_at",
+        "_clock",
+        "_start",
+        "_last_report",
+        "_cancelled",
+    )
+
+    def __init__(
+        self,
+        *,
+        on_progress: Callable[[ProgressUpdate], None] | None = None,
+        check_every: int = 1024,
+        min_interval: float = 0.1,
+        deadline: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {check_every}")
+        self._on_progress = on_progress
+        self.check_every = int(check_every)
+        self._min_interval = float(min_interval)
+        self._clock = clock
+        self._start = clock()
+        self._deadline: float | None = None
+        self._deadline_at: float | None = None
+        self._last_report: float | None = None
+        self._cancelled = False
+        if deadline is not None:
+            self.set_deadline(deadline)
+
+    # ------------------------------------------------------------------
+    # Control surface
+    # ------------------------------------------------------------------
+    def cancel(self) -> None:
+        """Request cancellation; takes effect at the next checkpoint."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def set_deadline(self, seconds: float) -> None:
+        """(Re)arm the wall-clock budget, measured from *now*."""
+        if seconds < 0:
+            raise ValueError(f"deadline must be >= 0 seconds, got {seconds}")
+        self._deadline = float(seconds)
+        self._deadline_at = self._clock() + float(seconds)
+
+    def elapsed(self) -> float:
+        """Seconds since the controller was created."""
+        return self._clock() - self._start
+
+    def expired(self) -> bool:
+        """True once the deadline (if any) has passed."""
+        return self._deadline_at is not None and self._clock() >= self._deadline_at
+
+    # ------------------------------------------------------------------
+    # Hot-path hook
+    # ------------------------------------------------------------------
+    def checkpoint(
+        self,
+        metrics: "MiningMetrics",
+        *,
+        phase: str = "mine",
+        done: int = 0,
+        total: int | None = None,
+    ) -> None:
+        """Raise on cancellation/deadline; maybe report progress."""
+        now = self._clock()
+        if self._deadline_at is not None and now >= self._deadline_at:
+            self._cancelled = True
+            raise MiningCancelled(
+                f"deadline of {self._deadline:g}s exceeded", metrics=metrics
+            )
+        if self._cancelled:
+            raise MiningCancelled("cancelled by caller", metrics=metrics)
+        if self._on_progress is not None and (
+            self._last_report is None
+            or now - self._last_report >= self._min_interval
+        ):
+            self._last_report = now
+            self._on_progress(
+                ProgressUpdate(phase, done, total, now - self._start, metrics)
+            )
+            # A callback may call cancel(); honour it at this very
+            # checkpoint so "cancel from the progress callback" is
+            # deterministic.
+            if self._cancelled:
+                raise MiningCancelled("cancelled by caller", metrics=metrics)
+
+
+def resolve_progress(
+    progress: "ProgressController | Callable[[ProgressUpdate], None] | None",
+    deadline: float | None,
+) -> ProgressController | None:
+    """Normalize the ``progress=`` / ``deadline=`` mining arguments.
+
+    ``progress`` may be a ready :class:`ProgressController` or a bare
+    callback (wrapped into a fresh controller).  A ``deadline`` without
+    a controller creates one; a deadline alongside an existing
+    controller (re)arms that controller's budget.
+    """
+    if progress is None:
+        if deadline is None:
+            return None
+        return ProgressController(deadline=deadline)
+    if isinstance(progress, ProgressController):
+        if deadline is not None:
+            progress.set_deadline(deadline)
+        return progress
+    if callable(progress):
+        return ProgressController(on_progress=progress, deadline=deadline)
+    raise TypeError(
+        "progress must be a ProgressController or a callable taking a "
+        f"ProgressUpdate, got {type(progress).__name__}"
+    )

@@ -1,0 +1,138 @@
+"""Typed per-algorithm option dataclasses for :func:`repro.api.mine`.
+
+Instead of loose ``**options`` keywords (still accepted, but
+deprecated), callers pass one frozen dataclass matching the selected
+algorithm::
+
+    from repro import mine, CubeMinerOptions, HeightOrder
+
+    result = mine(
+        dataset, thresholds,
+        algorithm="cubeminer",
+        options=CubeMinerOptions(order=HeightOrder.ORIGINAL),
+    )
+
+Each class knows which algorithms it configures (``algorithms``) and
+renders itself into the keyword arguments of the target mining function
+with :meth:`to_kwargs`.  Passing an options object to an algorithm it
+does not configure raises :class:`TypeError` — mismatches fail loudly
+instead of silently ignoring knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Union
+
+from .cubeminer.cutter import HeightOrder
+
+__all__ = [
+    "CubeMinerOptions",
+    "RSMOptions",
+    "ParallelOptions",
+    "ReferenceOptions",
+    "AlgorithmOptions",
+]
+
+
+class _OptionsBase:
+    """Shared validation: an options object names its algorithms."""
+
+    #: Algorithm names this options class configures.
+    algorithms: ClassVar[tuple[str, ...]] = ()
+
+    def _check(self, algorithm: str) -> None:
+        if algorithm not in self.algorithms:
+            raise TypeError(
+                f"{type(self).__name__} configures {self.algorithms}, "
+                f"not algorithm {algorithm!r}"
+            )
+
+
+@dataclass(frozen=True)
+class CubeMinerOptions(_OptionsBase):
+    """Options for the sequential CubeMiner (Section 5)."""
+
+    algorithms: ClassVar[tuple[str, ...]] = ("cubeminer",)
+
+    #: Height-slice ordering heuristic for the cutter list.
+    order: HeightOrder = HeightOrder.ZERO_DECREASING
+
+    def to_kwargs(self, algorithm: str = "cubeminer") -> dict:
+        self._check(algorithm)
+        return {"order": self.order}
+
+
+@dataclass(frozen=True)
+class RSMOptions(_OptionsBase):
+    """Options for the sequential RSM framework (Section 4)."""
+
+    algorithms: ClassVar[tuple[str, ...]] = ("rsm",)
+
+    #: Dimension to enumerate: ``"height"``/``"row"``/``"column"``, an
+    #: axis index, or ``"auto"`` for the smallest dimension.
+    base_axis: int | str = "height"
+    #: Registry name of the 2D closed-pattern miner for phase 2.
+    fcp_miner: str = "dminer"
+
+    def to_kwargs(self, algorithm: str = "rsm") -> dict:
+        self._check(algorithm)
+        return {"base_axis": self.base_axis, "fcp_miner": self.fcp_miner}
+
+
+@dataclass(frozen=True)
+class ParallelOptions(_OptionsBase):
+    """Options for both parallel variants (Section 6).
+
+    Carries the union of both algorithms' knobs; :meth:`to_kwargs`
+    selects the subset the chosen variant understands (``order`` /
+    ``min_tasks`` are CubeMiner-only, ``base_axis`` / ``fcp_miner`` are
+    RSM-only).
+    """
+
+    algorithms: ClassVar[tuple[str, ...]] = ("parallel-cubeminer", "parallel-rsm")
+
+    #: Worker process count (1 falls back to inline execution).
+    n_workers: int = 2
+    #: Task chunks handed to each worker (load-balancing granularity).
+    chunks_per_worker: int = 4
+    #: parallel-cubeminer: cutter ordering heuristic.
+    order: HeightOrder = HeightOrder.ZERO_DECREASING
+    #: parallel-cubeminer: frontier size floor for task expansion
+    #: (``None`` = ``8 * n_workers``).
+    min_tasks: int | None = None
+    #: parallel-rsm: base dimension to enumerate.
+    base_axis: int | str = "auto"
+    #: parallel-rsm: 2D miner name for phase 2.
+    fcp_miner: str = "dminer"
+
+    def to_kwargs(self, algorithm: str = "parallel-cubeminer") -> dict:
+        self._check(algorithm)
+        kwargs = {
+            "n_workers": self.n_workers,
+            "chunks_per_worker": self.chunks_per_worker,
+        }
+        if algorithm == "parallel-cubeminer":
+            kwargs["order"] = self.order
+            kwargs["min_tasks"] = self.min_tasks
+        else:
+            kwargs["base_axis"] = self.base_axis
+            kwargs["fcp_miner"] = self.fcp_miner
+        return kwargs
+
+
+@dataclass(frozen=True)
+class ReferenceOptions(_OptionsBase):
+    """Options for the brute-force oracle (it has no knobs)."""
+
+    algorithms: ClassVar[tuple[str, ...]] = ("reference",)
+
+    def to_kwargs(self, algorithm: str = "reference") -> dict:
+        self._check(algorithm)
+        return {}
+
+
+#: Any typed options object accepted by :func:`repro.api.mine`.
+AlgorithmOptions = Union[
+    CubeMinerOptions, RSMOptions, ParallelOptions, ReferenceOptions
+]

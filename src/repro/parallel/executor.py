@@ -15,6 +15,15 @@ inter-worker communication:
 Both functions fall back to inline execution for ``n_workers == 1`` or
 trivially small task lists, so results and tests do not depend on
 multiprocessing availability.
+
+Instrumentation: each worker accumulates its own
+:class:`~repro.obs.metrics.MiningMetrics` and ships it back with its
+chunk result; the driver merges them so a parallel run reports the
+same counter totals a sequential run would.  Progress checkpoints and
+deadlines are evaluated in the driver between chunk completions (and
+inside the engine on the inline path) — event sinks, being arbitrary
+callables, do not cross process boundaries and only fire on the inline
+path.
 """
 
 from __future__ import annotations
@@ -27,10 +36,20 @@ from ..core.cube import Cube
 from ..core.dataset import Dataset3D
 from ..core.kernels import Kernel
 from ..core.permute import map_cube_from_transposed, order_moving_axis_first
-from ..core.result import MiningResult
+from ..core.result import MiningResult, MiningStats
 from ..cubeminer.algorithm import CubeMinerStats, _run
 from ..cubeminer.cutter import Cutter, HeightOrder, build_cutters
 from ..fcp import get_fcp_miner
+from ..obs import (
+    EventSink,
+    MineDone,
+    MineStart,
+    MiningCancelled,
+    MiningMetrics,
+    ProgressController,
+    SliceEvent,
+    resolve_progress,
+)
 from ..rsm.algorithm import resolve_base_axis
 from ..rsm.postprune import height_closed_in
 from ..rsm.slices import representative_slice
@@ -63,26 +82,59 @@ def _init_rsm_worker(
     _worker_fcp_name = fcp_name
 
 
-def _rsm_worker_chunk(height_masks: list[int]) -> list[tuple[int, int, int]]:
-    """Mine a chunk of representative slices; return raw cube triples."""
+def _rsm_worker_chunk(
+    height_masks: list[int],
+    progress: ProgressController | None = None,
+    sink: EventSink | None = None,
+    metrics: MiningMetrics | None = None,
+) -> tuple[list[tuple[int, int, int]], dict[str, int]]:
+    """Mine a chunk of representative slices.
+
+    Returns the raw cube triples plus the chunk's counter tallies (as a
+    picklable dict).  ``progress``/``sink``/``metrics`` are only bound
+    on the inline path — pool workers run with the defaults and the
+    driver merges their returned tallies.
+    """
     dataset = _worker_dataset
     thresholds = _worker_thresholds
     assert dataset is not None and thresholds is not None
+    stats = metrics if metrics is not None else MiningMetrics()
     miner = get_fcp_miner(_worker_fcp_name)
     found: list[tuple[int, int, int]] = []
-    for heights in height_masks:
-        size = heights.bit_count()
-        rs = representative_slice(dataset, heights)
-        patterns = miner.mine(
-            rs, min_rows=thresholds.min_r, min_columns=thresholds.min_c
-        )
-        for pattern in patterns:
-            volume = size * pattern.row_support * pattern.column_support
-            if volume < thresholds.min_volume:
-                continue
-            if height_closed_in(dataset, heights, pattern.rows, pattern.columns):
-                found.append((heights, pattern.rows, pattern.columns))
-    return found
+    try:
+        for done, heights in enumerate(height_masks, start=1):
+            size = heights.bit_count()
+            stats.rs_slices_mined += 1
+            stats.kernel_ops += 1
+            rs = representative_slice(dataset, heights)
+            patterns = miner.mine(
+                rs, min_rows=thresholds.min_r, min_columns=thresholds.min_c
+            )
+            stats.fcp_patterns += len(patterns)
+            n_kept = 0
+            for pattern in patterns:
+                volume = size * pattern.row_support * pattern.column_support
+                if volume < thresholds.min_volume:
+                    continue
+                stats.postprune_checked += 1
+                if height_closed_in(
+                    dataset, heights, pattern.rows, pattern.columns, metrics=stats
+                ):
+                    n_kept += 1
+                    found.append((heights, pattern.rows, pattern.columns))
+                else:
+                    stats.postprune_discards += 1
+            if sink is not None:
+                sink(SliceEvent(heights, len(patterns), n_kept))
+            if progress is not None:
+                progress.checkpoint(
+                    stats, phase="parallel-rsm", done=done, total=len(height_masks)
+                )
+    except MiningCancelled as exc:
+        exc.partial_cubes = found
+        exc.metrics = stats
+        raise
+    return found, stats.as_dict()
 
 
 def _init_cubeminer_worker(
@@ -99,15 +151,29 @@ def _init_cubeminer_worker(
     _worker_cutters = cutters
 
 
-def _cubeminer_worker_chunk(tasks: list[CubeMinerTask]) -> list[tuple[int, int, int]]:
+def _cubeminer_worker_chunk(
+    tasks: list[CubeMinerTask],
+    progress: ProgressController | None = None,
+    sink: EventSink | None = None,
+    metrics: MiningMetrics | None = None,
+) -> tuple[list[tuple[int, int, int]], dict[str, int]]:
     """Resume the sequential engine on a chunk of tree branches."""
     dataset = _worker_dataset
     thresholds = _worker_thresholds
     cutters = _worker_cutters
     assert dataset is not None and thresholds is not None and cutters is not None
+    stats = metrics if metrics is not None else MiningMetrics()
     stack = [task.as_stack_item() for task in tasks]
-    cubes, _stats = _run(dataset, thresholds, cutters, stack, CubeMinerStats())
-    return [(cube.heights, cube.rows, cube.columns) for cube in cubes]
+    try:
+        cubes, stats = _run(
+            dataset, thresholds, cutters, stack, stats, sink=sink, progress=progress
+        )
+    except MiningCancelled as exc:
+        exc.partial_cubes = [
+            (cube.heights, cube.rows, cube.columns) for cube in exc.partial_cubes
+        ]
+        raise
+    return [(cube.heights, cube.rows, cube.columns) for cube in cubes], stats.as_dict()
 
 
 def _chunked(items: list, n_chunks: int) -> list[list]:
@@ -123,6 +189,45 @@ def _chunked(items: list, n_chunks: int) -> list[list]:
     return chunks
 
 
+def _drain_pool(
+    pool_cls_args: tuple,
+    worker_fn,
+    chunks: list[list],
+    stats: MiningMetrics,
+    controller: ProgressController | None,
+    phase: str,
+) -> list:
+    """Run ``worker_fn`` over ``chunks`` in a pool, merging metrics.
+
+    Results stream back in order so the driver can checkpoint between
+    chunk completions; on cancellation the pool is terminated (via the
+    context manager) and the partial raw cubes are attached to the
+    exception.
+    """
+    ctx = get_context()
+    processes, initializer, initargs = pool_cls_args
+    raw: list = []
+    with ctx.Pool(
+        processes=processes, initializer=initializer, initargs=initargs
+    ) as pool:
+        try:
+            for done, (part, tallies) in enumerate(
+                pool.imap(worker_fn, chunks), start=1
+            ):
+                raw.extend(part)
+                stats.merge(MiningMetrics.from_dict(tallies))
+                stats.workers_merged += 1
+                if controller is not None:
+                    controller.checkpoint(
+                        stats, phase=phase, done=done, total=len(chunks)
+                    )
+        except MiningCancelled as exc:
+            exc.partial_cubes = raw
+            exc.metrics = stats
+            raise
+    return raw
+
+
 # ----------------------------------------------------------------------
 # Public drivers
 # ----------------------------------------------------------------------
@@ -135,12 +240,18 @@ def parallel_rsm_mine(
     fcp_miner: str = "dminer",
     chunks_per_worker: int = 4,
     kernel: str | Kernel | None = None,
+    metrics: MiningMetrics | None = None,
+    on_event: EventSink | None = None,
+    progress: "ProgressController | callable | None" = None,
+    deadline: float | None = None,
 ) -> MiningResult:
     """Parallel RSM: fan representative-slice tasks across processes."""
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     get_fcp_miner(fcp_miner)  # validate the name before forking
     start = time.perf_counter()
+    stats = metrics if metrics is not None else MiningMetrics()
+    controller = resolve_progress(progress, deadline)
     if kernel is not None:
         dataset = dataset.with_kernel(kernel)
     kernel_name = dataset.kernel.name
@@ -149,38 +260,73 @@ def parallel_rsm_mine(
     order = order_moving_axis_first(axis)
     working = dataset if axis == 0 else dataset.transpose(order)  # type: ignore[arg-type]
     working_thresholds = thresholds.permute(order)
+    algorithm = f"parallel-rsm-{axis_name}[{fcp_miner}]x{n_workers}"
+    if on_event is not None:
+        on_event(
+            MineStart(
+                algorithm,
+                dataset.shape,
+                thresholds.as_tuple() + (thresholds.min_volume,),
+            )
+        )
 
-    tasks = (
-        rsm_tasks(working.n_heights, working_thresholds.min_h)
-        if working_thresholds.feasible_for_shape(working.shape)
-        else []
-    )
-    raw: list[tuple[int, int, int]] = []
-    if n_workers == 1 or len(tasks) <= 1:
-        _init_rsm_worker(working, working_thresholds, fcp_miner, kernel_name)
-        raw = _rsm_worker_chunk(tasks)
-    else:
-        chunks = _chunked(tasks, n_workers * chunks_per_worker)
-        ctx = get_context()
-        with ctx.Pool(
-            processes=n_workers,
-            initializer=_init_rsm_worker,
-            initargs=(working, working_thresholds, fcp_miner, kernel_name),
-        ) as pool:
-            for part in pool.map(_rsm_worker_chunk, chunks):
-                raw.extend(part)
+    tasks: list[int] = []
 
-    cubes = [
-        map_cube_from_transposed(Cube(h, r, c), order) for h, r, c in raw
-    ]
-    return MiningResult(
-        cubes=cubes,
-        algorithm=f"parallel-rsm-{axis_name}[{fcp_miner}]x{n_workers}",
-        thresholds=thresholds,
-        dataset_shape=dataset.shape,
-        elapsed_seconds=time.perf_counter() - start,
-        stats={"n_tasks": len(tasks), "n_workers": n_workers},
-    )
+    def finish(raw: list[tuple[int, int, int]]) -> MiningResult:
+        cubes = [map_cube_from_transposed(Cube(h, r, c), order) for h, r, c in raw]
+        return MiningResult(
+            cubes=cubes,
+            algorithm=algorithm,
+            thresholds=thresholds,
+            dataset_shape=dataset.shape,
+            elapsed_seconds=time.perf_counter() - start,
+            stats=MiningStats(
+                metrics=stats,
+                extra={"n_tasks": len(tasks), "n_workers": n_workers},
+            ),
+        )
+
+    try:
+        # Checkpoint before task generation: subset enumeration is
+        # exponential in the base dimension, so an expired deadline must
+        # abort before it, not after.
+        if controller is not None:
+            controller.checkpoint(stats, phase="parallel-rsm", done=0)
+        if working_thresholds.feasible_for_shape(working.shape):
+            tasks = rsm_tasks(working.n_heights, working_thresholds.min_h)
+        if controller is not None:
+            controller.checkpoint(
+                stats, phase="parallel-rsm", done=0, total=len(tasks)
+            )
+        if n_workers == 1 or len(tasks) <= 1:
+            _init_rsm_worker(working, working_thresholds, fcp_miner, kernel_name)
+            raw, _ = _rsm_worker_chunk(tasks, controller, on_event, stats)
+        else:
+            chunks = _chunked(tasks, n_workers * chunks_per_worker)
+            raw = _drain_pool(
+                (
+                    n_workers,
+                    _init_rsm_worker,
+                    (working, working_thresholds, fcp_miner, kernel_name),
+                ),
+                _rsm_worker_chunk,
+                chunks,
+                stats,
+                controller,
+                "parallel-rsm",
+            )
+    except MiningCancelled as exc:
+        elapsed = time.perf_counter() - start
+        exc.metrics = stats
+        exc.partial = finish(list(exc.partial_cubes))
+        if on_event is not None:
+            on_event(MineDone(algorithm, len(exc.partial), elapsed, cancelled=True))
+        raise
+
+    result = finish(raw)
+    if on_event is not None:
+        on_event(MineDone(algorithm, len(result), result.elapsed_seconds))
+    return result
 
 
 def parallel_cubeminer_mine(
@@ -192,44 +338,93 @@ def parallel_cubeminer_mine(
     min_tasks: int | None = None,
     chunks_per_worker: int = 4,
     kernel: str | Kernel | None = None,
+    metrics: MiningMetrics | None = None,
+    on_event: EventSink | None = None,
+    progress: "ProgressController | callable | None" = None,
+    deadline: float | None = None,
 ) -> MiningResult:
     """Parallel CubeMiner: fan tree branches across processes."""
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     start = time.perf_counter()
+    stats = metrics if metrics is not None else MiningMetrics()
+    controller = resolve_progress(progress, deadline)
     if kernel is not None:
         dataset = dataset.with_kernel(kernel)
     kernel_name = dataset.kernel.name
     cutters = build_cutters(dataset, order)
+    stats.cutters_built += len(cutters)
+    stats.n_cutters = len(cutters)
     if min_tasks is None:
         min_tasks = max(8 * n_workers, 1)
-    tasks, done = cubeminer_tasks(dataset, thresholds, cutters, min_tasks)
+    algorithm = f"parallel-cubeminer[{order.value}]x{n_workers}"
+    if on_event is not None:
+        on_event(
+            MineStart(
+                algorithm,
+                dataset.shape,
+                thresholds.as_tuple() + (thresholds.min_volume,),
+            )
+        )
+    tasks: list[CubeMinerTask] = []
+    done: list[Cube] = []
 
-    raw: list[tuple[int, int, int]] = []
-    if n_workers == 1 or len(tasks) <= 1:
-        _init_cubeminer_worker(dataset, thresholds, cutters, kernel_name)
-        raw = _cubeminer_worker_chunk(tasks)
-    else:
-        chunks = _chunked(tasks, n_workers * chunks_per_worker)
-        ctx = get_context()
-        with ctx.Pool(
-            processes=n_workers,
-            initializer=_init_cubeminer_worker,
-            initargs=(dataset, thresholds, cutters, kernel_name),
-        ) as pool:
-            for part in pool.map(_cubeminer_worker_chunk, chunks):
-                raw.extend(part)
+    def finish(raw: list[tuple[int, int, int]]) -> MiningResult:
+        cubes = list(done) + [Cube(h, r, c) for h, r, c in raw]
+        return MiningResult(
+            cubes=cubes,
+            algorithm=algorithm,
+            thresholds=thresholds,
+            dataset_shape=dataset.shape,
+            elapsed_seconds=time.perf_counter() - start,
+            stats=MiningStats(
+                metrics=stats,
+                extra={
+                    "n_tasks": len(tasks),
+                    "n_workers": n_workers,
+                    "fccs_during_expansion": len(done),
+                },
+            ),
+        )
 
-    cubes = list(done) + [Cube(h, r, c) for h, r, c in raw]
-    return MiningResult(
-        cubes=cubes,
-        algorithm=f"parallel-cubeminer[{order.value}]x{n_workers}",
-        thresholds=thresholds,
-        dataset_shape=dataset.shape,
-        elapsed_seconds=time.perf_counter() - start,
-        stats={
-            "n_tasks": len(tasks),
-            "n_workers": n_workers,
-            "fccs_during_expansion": len(done),
-        },
-    )
+    try:
+        # Checkpoint before the breadth-first expansion: it mines real
+        # tree nodes, so an expired deadline must abort before it.
+        if controller is not None:
+            controller.checkpoint(stats, phase="parallel-cubeminer", done=0)
+        tasks, done = cubeminer_tasks(
+            dataset, thresholds, cutters, min_tasks, metrics=stats
+        )
+        if controller is not None:
+            controller.checkpoint(
+                stats, phase="parallel-cubeminer", done=0, total=len(tasks)
+            )
+        if n_workers == 1 or len(tasks) <= 1:
+            _init_cubeminer_worker(dataset, thresholds, cutters, kernel_name)
+            raw, _ = _cubeminer_worker_chunk(tasks, controller, on_event, stats)
+        else:
+            chunks = _chunked(tasks, n_workers * chunks_per_worker)
+            raw = _drain_pool(
+                (
+                    n_workers,
+                    _init_cubeminer_worker,
+                    (dataset, thresholds, cutters, kernel_name),
+                ),
+                _cubeminer_worker_chunk,
+                chunks,
+                stats,
+                controller,
+                "parallel-cubeminer",
+            )
+    except MiningCancelled as exc:
+        elapsed = time.perf_counter() - start
+        exc.metrics = stats
+        exc.partial = finish(list(exc.partial_cubes))
+        if on_event is not None:
+            on_event(MineDone(algorithm, len(exc.partial), elapsed, cancelled=True))
+        raise
+
+    result = finish(raw)
+    if on_event is not None:
+        on_event(MineDone(algorithm, len(result), result.elapsed_seconds))
+    return result

@@ -23,6 +23,7 @@ from ..core.cube import Cube
 from ..core.dataset import Dataset3D
 from ..cubeminer.checks import height_set_closed, row_set_closed
 from ..cubeminer.cutter import Cutter
+from ..obs.metrics import MiningMetrics
 from ..rsm.slices import enumerate_height_subsets
 
 __all__ = ["CubeMinerTask", "rsm_tasks", "cubeminer_tasks"]
@@ -59,16 +60,21 @@ def cubeminer_tasks(
     thresholds: Thresholds,
     cutters: list[Cutter],
     min_tasks: int,
+    metrics: MiningMetrics | None = None,
 ) -> tuple[list[CubeMinerTask], list[Cube]]:
     """Expand the CubeMiner tree breadth-first into >= ``min_tasks`` tasks.
 
     Returns the frontier tasks plus any FCCs already completed during
     expansion (nodes that ran out of applicable cutters early).  The
     expansion applies exactly the sequential pruning rules, so replaying
-    every task yields exactly the sequential result set.
+    every task yields exactly the sequential result set.  When
+    ``metrics`` is given, the expansion's own node visits and closure
+    checks are tallied so the driver's counters cover this phase too.
     """
     if min_tasks < 1:
         raise ValueError(f"min_tasks must be >= 1, got {min_tasks}")
+    if metrics is None:
+        metrics = MiningMetrics()
     min_h, min_r, min_c = thresholds.as_tuple()
     min_volume = thresholds.min_volume
     n_cutters = len(cutters)
@@ -91,6 +97,8 @@ def cubeminer_tasks(
         expanded_any = False
         for task in frontier:
             heights, rows, columns = task.heights, task.rows, task.columns
+            metrics.nodes_visited += 1
+            metrics.kernel_ops += 1
             index = task.cutter_index
             while index < n_cutters:
                 cutter = cutters[index]
@@ -102,6 +110,7 @@ def cubeminer_tasks(
                     break
                 index += 1
             else:
+                metrics.leaves_emitted += 1
                 done.append(Cube(heights, rows, columns))
                 continue
             expanded_any = True
@@ -118,6 +127,7 @@ def cubeminer_tasks(
                 and not left_atom & task.track_left
                 and row_set_closed(dataset, son_heights, rows, columns)
             ):
+                metrics.sons_left += 1
                 next_frontier.append(
                     CubeMinerTask(
                         son_heights, rows, columns, next_index,
@@ -131,6 +141,7 @@ def cubeminer_tasks(
                 and not middle_atom & task.track_middle
                 and height_set_closed(dataset, heights, son_rows, columns)
             ):
+                metrics.sons_middle += 1
                 next_frontier.append(
                     CubeMinerTask(
                         heights, son_rows, columns, next_index,
@@ -144,6 +155,7 @@ def cubeminer_tasks(
                 and height_set_closed(dataset, heights, rows, son_columns)
                 and row_set_closed(dataset, heights, rows, son_columns)
             ):
+                metrics.sons_right += 1
                 next_frontier.append(
                     CubeMinerTask(
                         heights, rows, son_columns, next_index,

@@ -17,6 +17,12 @@ support set.  The base dimension defaults to heights; ``base_axis``
 transposes internally and maps results back, and ``"auto"`` picks the
 smallest dimension (the paper's heuristic — enumeration cost is
 exponential in the base dimension's size).
+
+Runs carry the same instrumentation surface as CubeMiner: always-on
+:class:`~repro.obs.metrics.MiningMetrics` counters (slices mined, 2D
+patterns, Lemma-1 discards), optional typed events (one
+:class:`~repro.obs.events.SliceEvent` per representative slice) and a
+progress/cancellation checkpoint after every slice.
 """
 
 from __future__ import annotations
@@ -28,10 +34,21 @@ from ..core.constraints import Thresholds
 from ..core.cube import Cube
 from ..core.dataset import Dataset3D
 from ..core.permute import map_cube_from_transposed, order_moving_axis_first
-from ..core.result import MiningResult
+from ..core.result import MiningResult, MiningStats
 from ..fcp import FCPMiner, get_fcp_miner
+from ..obs import (
+    EventSink,
+    MineDone,
+    MineStart,
+    MiningCancelled,
+    MiningMetrics,
+    ProgressController,
+    PruneEvent,
+    SliceEvent,
+    resolve_progress,
+)
 from .postprune import PostPruneStats, height_closed_in
-from .slices import enumerate_height_subsets, representative_slice
+from .slices import count_height_subsets, enumerate_height_subsets, representative_slice
 
 __all__ = ["rsm_mine", "RSMMiner", "resolve_base_axis"]
 
@@ -61,6 +78,10 @@ def rsm_mine(
     *,
     base_axis: int | str = "height",
     fcp_miner: str | FCPMiner = "dminer",
+    metrics: MiningMetrics | None = None,
+    on_event: EventSink | None = None,
+    progress: "ProgressController | callable | None" = None,
+    deadline: float | None = None,
 ) -> MiningResult:
     """Mine all frequent closed cubes of ``dataset`` with RSM.
 
@@ -80,68 +101,153 @@ def rsm_mine(
         The 2D phase-2 algorithm: a registry name (``"dminer"``,
         ``"cbo"``, ``"charm"``, ``"carpenter"``) or any
         :class:`~repro.fcp.base.FCPMiner` instance.
+    metrics / on_event / progress / deadline:
+        Instrumentation surface — see :func:`repro.api.mine`.  A
+        cancelled run raises
+        :class:`~repro.obs.progress.MiningCancelled` with the partial
+        result (cubes mapped back to the caller's axis order) attached.
     """
     miner = get_fcp_miner(fcp_miner) if isinstance(fcp_miner, str) else fcp_miner
     axis = resolve_base_axis(dataset, base_axis)
     axis_name = ("H", "R", "C")[axis]
+    stats = metrics if metrics is not None else MiningMetrics()
+    controller = resolve_progress(progress, deadline)
+    algorithm = f"rsm-{axis_name.lower()}[{miner.name}]"
     start = time.perf_counter()
+    if on_event is not None:
+        on_event(
+            MineStart(
+                algorithm,
+                dataset.shape,
+                thresholds.as_tuple() + (thresholds.min_volume,),
+            )
+        )
+
+    order = None if axis == 0 else order_moving_axis_first(axis)
+
+    def map_back(raw_cubes: list[Cube]) -> list[Cube]:
+        if order is None:
+            return raw_cubes
+        return [map_cube_from_transposed(cube, order) for cube in raw_cubes]
 
     if axis == 0:
-        cubes, stats = _mine_base_height(dataset, thresholds, miner)
+        working, working_thresholds = dataset, thresholds
     else:
-        order = order_moving_axis_first(axis)
-        transposed = dataset.transpose(order)  # type: ignore[arg-type]
-        permuted = thresholds.permute(order)
-        raw_cubes, stats = _mine_base_height(transposed, permuted, miner)
-        cubes = [map_cube_from_transposed(cube, order) for cube in raw_cubes]
+        working = dataset.transpose(order)  # type: ignore[arg-type]
+        working_thresholds = thresholds.permute(order)  # type: ignore[arg-type]
 
-    return MiningResult(
-        cubes=cubes,
-        algorithm=f"rsm-{axis_name.lower()}[{miner.name}]",
+    try:
+        if controller is not None:
+            controller.checkpoint(stats, phase="rsm", done=0)
+        raw_cubes, extra = _mine_base_height(
+            working, working_thresholds, miner, stats, on_event, controller
+        )
+    except MiningCancelled as exc:
+        elapsed = time.perf_counter() - start
+        partial_cubes = map_back(list(exc.partial_cubes))
+        exc.metrics = stats
+        exc.partial = MiningResult(
+            cubes=partial_cubes,
+            algorithm=algorithm,
+            thresholds=thresholds,
+            dataset_shape=dataset.shape,
+            elapsed_seconds=elapsed,
+            stats=MiningStats(metrics=stats),
+        )
+        if on_event is not None:
+            on_event(MineDone(algorithm, len(exc.partial), elapsed, cancelled=True))
+        raise
+
+    result = MiningResult(
+        cubes=map_back(raw_cubes),
+        algorithm=algorithm,
         thresholds=thresholds,
         dataset_shape=dataset.shape,
         elapsed_seconds=time.perf_counter() - start,
-        stats=stats,
+        stats=MiningStats(metrics=stats, extra=extra),
     )
+    if on_event is not None:
+        on_event(MineDone(algorithm, len(result), result.elapsed_seconds))
+    return result
 
 
 def _mine_base_height(
     dataset: Dataset3D,
     thresholds: Thresholds,
     miner: FCPMiner,
+    metrics: MiningMetrics,
+    sink: EventSink | None = None,
+    progress: ProgressController | None = None,
 ) -> tuple[list[Cube], dict[str, int]]:
-    """RSM's three phases with the height axis as base dimension."""
+    """RSM's three phases with the height axis as base dimension.
+
+    Returns the found cubes plus the legacy flat stats keys; on
+    cancellation the raised exception carries the cubes found so far in
+    ``partial_cubes``.
+    """
     min_h, min_r, min_c = thresholds.as_tuple()
     min_volume = thresholds.min_volume
-    prune = PostPruneStats()
-    n_slices = 0
-    n_patterns = 0
+    prune = PostPruneStats(metrics)
+    slices_before = metrics.rs_slices_mined
+    patterns_before = metrics.fcp_patterns
+    checked_before = metrics.postprune_checked
+    discards_before = metrics.postprune_discards
     cubes: list[Cube] = []
-    if thresholds.feasible_for_shape(dataset.shape):
-        slice_cells = dataset.n_rows * dataset.n_columns
-        for heights in enumerate_height_subsets(dataset.n_heights, min_h):
-            size = bit_count(heights)
-            if size * slice_cells < min_volume:
-                # No pattern of this slice can reach the volume floor.
-                continue
-            n_slices += 1
-            rs = representative_slice(dataset, heights)
-            patterns = miner.mine(rs, min_rows=min_r, min_columns=min_c)
-            n_patterns += len(patterns)
-            for pattern in patterns:
-                if size * pattern.row_support * pattern.column_support < min_volume:
+    try:
+        if thresholds.feasible_for_shape(dataset.shape):
+            total = count_height_subsets(dataset.n_heights, min_h)
+            slice_cells = dataset.n_rows * dataset.n_columns
+            n_enumerated = 0
+            for heights in enumerate_height_subsets(dataset.n_heights, min_h):
+                n_enumerated += 1
+                size = bit_count(heights)
+                if size * slice_cells < min_volume:
+                    # No pattern of this slice can reach the volume floor.
                     continue
-                kept = height_closed_in(dataset, heights, pattern.rows, pattern.columns)
-                prune.record(kept)
-                if kept:
-                    cubes.append(Cube(heights, pattern.rows, pattern.columns))
-    stats = {
-        "representative_slices": n_slices,
-        "fcp_patterns": n_patterns,
-        "postprune_checked": prune.patterns_checked,
-        "postprune_pruned": prune.patterns_pruned,
+                metrics.rs_slices_mined += 1
+                metrics.kernel_ops += 1
+                rs = representative_slice(dataset, heights)
+                patterns = miner.mine(rs, min_rows=min_r, min_columns=min_c)
+                metrics.fcp_patterns += len(patterns)
+                n_kept = 0
+                for pattern in patterns:
+                    if size * pattern.row_support * pattern.column_support < min_volume:
+                        continue
+                    kept = height_closed_in(
+                        dataset, heights, pattern.rows, pattern.columns,
+                        metrics=metrics,
+                    )
+                    prune.record(kept)
+                    if kept:
+                        n_kept += 1
+                        cubes.append(Cube(heights, pattern.rows, pattern.columns))
+                    elif sink is not None:
+                        sink(
+                            PruneEvent(
+                                "postprune",
+                                "postprune_discards",
+                                heights,
+                                pattern.rows,
+                                pattern.columns,
+                            )
+                        )
+                if sink is not None:
+                    sink(SliceEvent(heights, len(patterns), n_kept))
+                if progress is not None:
+                    progress.checkpoint(
+                        metrics, phase="rsm", done=n_enumerated, total=total
+                    )
+    except MiningCancelled as exc:
+        exc.partial_cubes = cubes
+        exc.metrics = metrics
+        raise
+    extra = {
+        "representative_slices": metrics.rs_slices_mined - slices_before,
+        "fcp_patterns": metrics.fcp_patterns - patterns_before,
+        "postprune_checked": metrics.postprune_checked - checked_before,
+        "postprune_pruned": metrics.postprune_discards - discards_before,
     }
-    return cubes, stats
+    return cubes, extra
 
 
 class RSMMiner:

@@ -13,17 +13,28 @@ from __future__ import annotations
 
 from ..core.bitset import full_mask
 from ..core.dataset import Dataset3D
+from ..obs.metrics import MiningMetrics
 
 __all__ = ["height_closed_in", "PostPruneStats"]
 
 
-def height_closed_in(dataset: Dataset3D, heights: int, rows: int, columns: int) -> bool:
+def height_closed_in(
+    dataset: Dataset3D,
+    heights: int,
+    rows: int,
+    columns: int,
+    *,
+    metrics: MiningMetrics | None = None,
+) -> bool:
     """True when no height outside ``heights`` covers ``rows x columns``.
 
     This is Lemma 1's retention condition — the same predicate as
     CubeMiner's Hcheck (Lemma 4): one kernel support sweep over the
-    heights outside the subset must come back empty.
+    heights outside the subset must come back empty.  When ``metrics``
+    is given, the sweep is tallied into ``kernel_ops``.
     """
+    if metrics is not None:
+        metrics.kernel_ops += 1
     outside = full_mask(dataset.n_heights) & ~heights
     return (
         dataset.kernel.grid_supporting_heights(
@@ -34,15 +45,30 @@ def height_closed_in(dataset: Dataset3D, heights: int, rows: int, columns: int) 
 
 
 class PostPruneStats:
-    """Counters for the post-pruning phase (exposed in result stats)."""
+    """Counters for the post-pruning phase.
 
-    __slots__ = ("patterns_checked", "patterns_pruned")
+    A thin recorder over :class:`~repro.obs.metrics.MiningMetrics`: the
+    counts land in the library-wide ``postprune_checked`` /
+    ``postprune_discards`` counters (pass a shared instance to
+    aggregate into a run's metrics), while the historical
+    ``patterns_checked`` / ``patterns_pruned`` attribute names keep
+    working.
+    """
 
-    def __init__(self) -> None:
-        self.patterns_checked = 0
-        self.patterns_pruned = 0
+    __slots__ = ("metrics",)
+
+    def __init__(self, metrics: MiningMetrics | None = None) -> None:
+        self.metrics = metrics if metrics is not None else MiningMetrics()
+
+    @property
+    def patterns_checked(self) -> int:
+        return self.metrics.postprune_checked
+
+    @property
+    def patterns_pruned(self) -> int:
+        return self.metrics.postprune_discards
 
     def record(self, kept: bool) -> None:
-        self.patterns_checked += 1
+        self.metrics.postprune_checked += 1
         if not kept:
-            self.patterns_pruned += 1
+            self.metrics.postprune_discards += 1

@@ -1,0 +1,159 @@
+"""Tests for the typed mine() options surface and the algorithm registry."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.api as api
+from repro.api import ALGORITHMS, mine, register_algorithm, unregister_algorithm
+from repro.core.result import MiningResult
+from repro.cubeminer import HeightOrder
+from repro.options import (
+    CubeMinerOptions,
+    ParallelOptions,
+    ReferenceOptions,
+    RSMOptions,
+)
+
+
+class TestTypedOptions:
+    def test_cubeminer_options(self, paper_ds, paper_thresholds):
+        result = mine(
+            paper_ds,
+            paper_thresholds,
+            algorithm="cubeminer",
+            options=CubeMinerOptions(order=HeightOrder.ORIGINAL),
+        )
+        assert result.algorithm == "cubeminer[original]"
+
+    def test_rsm_options(self, paper_ds, paper_thresholds):
+        result = mine(
+            paper_ds,
+            paper_thresholds,
+            algorithm="rsm",
+            options=RSMOptions(base_axis="row", fcp_miner="dminer"),
+        )
+        assert result.algorithm == "rsm-r[dminer]"
+
+    def test_parallel_options_select_algorithm_knobs(self):
+        kwargs = ParallelOptions(n_workers=3).to_kwargs("parallel-cubeminer")
+        assert kwargs["n_workers"] == 3
+        assert "order" in kwargs and "fcp_miner" not in kwargs
+        kwargs = ParallelOptions(n_workers=3).to_kwargs("parallel-rsm")
+        assert "fcp_miner" in kwargs and "order" not in kwargs
+
+    def test_parallel_options_run(self, paper_ds, paper_thresholds):
+        result = mine(
+            paper_ds,
+            paper_thresholds,
+            algorithm="parallel-rsm",
+            options=ParallelOptions(n_workers=1),
+        )
+        assert result.stats["n_workers"] == 1
+
+    def test_mismatched_options_class_raises(self, paper_ds, paper_thresholds):
+        with pytest.raises(TypeError, match="RSMOptions"):
+            mine(
+                paper_ds,
+                paper_thresholds,
+                algorithm="cubeminer",
+                options=RSMOptions(),
+            )
+
+    def test_non_options_object_raises(self, paper_ds, paper_thresholds):
+        with pytest.raises(TypeError, match="to_kwargs"):
+            mine(
+                paper_ds,
+                paper_thresholds,
+                algorithm="cubeminer",
+                options={"order": HeightOrder.ORIGINAL},
+            )
+
+    def test_reference_options_have_no_knobs(self):
+        assert ReferenceOptions().to_kwargs("reference") == {}
+
+    def test_options_are_frozen(self):
+        with pytest.raises(Exception):
+            CubeMinerOptions().order = HeightOrder.ORIGINAL
+
+
+class TestLegacyKwargs:
+    def test_legacy_kwargs_warn_but_work(self, paper_ds, paper_thresholds):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            result = mine(
+                paper_ds,
+                paper_thresholds,
+                algorithm="cubeminer",
+                order=HeightOrder.ORIGINAL,
+            )
+        assert result.algorithm == "cubeminer[original]"
+
+    def test_typed_options_do_not_warn(self, paper_ds, paper_thresholds, recwarn):
+        mine(
+            paper_ds,
+            paper_thresholds,
+            options=CubeMinerOptions(order=HeightOrder.ORIGINAL),
+        )
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_conflicting_loose_and_typed_raise(self, paper_ds, paper_thresholds):
+        with pytest.raises(ValueError, match="order"), pytest.warns(
+            DeprecationWarning
+        ):
+            mine(
+                paper_ds,
+                paper_thresholds,
+                options=CubeMinerOptions(),
+                order=HeightOrder.ORIGINAL,
+            )
+
+
+class TestRegistry:
+    def test_algorithms_is_derived_from_registry(self):
+        assert set(
+            ("cubeminer", "rsm", "reference", "parallel-cubeminer", "parallel-rsm")
+        ) <= set(ALGORITHMS)
+        assert tuple(api._REGISTRY) == api.ALGORITHMS
+
+    def test_unknown_algorithm_message(self, paper_ds, paper_thresholds):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            mine(paper_ds, paper_thresholds, algorithm="nope")
+
+    def test_register_round_trip(self, paper_ds, paper_thresholds):
+        def _load():
+            def fake_mine(dataset, thresholds, **kwargs):
+                return MiningResult(
+                    cubes=[],
+                    algorithm="fake",
+                    thresholds=thresholds,
+                    dataset_shape=dataset.shape,
+                    elapsed_seconds=0.0,
+                )
+
+            return fake_mine
+
+        register_algorithm("fake", _load, description="test stub")
+        try:
+            assert "fake" in api.ALGORITHMS
+            result = mine(paper_ds, paper_thresholds, algorithm="fake")
+            assert result.algorithm == "fake"
+        finally:
+            unregister_algorithm("fake")
+        assert "fake" not in api.ALGORITHMS
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm("cubeminer", lambda: None)
+
+    def test_replace_allows_override(self):
+        spec = api.get_algorithm("cubeminer")
+        try:
+            register_algorithm(
+                "cubeminer", spec.loader, options_type=spec.options_type,
+                replace=True,
+            )
+        finally:
+            # Restore the pristine spec (same loader either way).
+            api._REGISTRY["cubeminer"] = spec
+            api._refresh_names()
+        assert "cubeminer" in api.ALGORITHMS
