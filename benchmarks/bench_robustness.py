@@ -1,16 +1,29 @@
-"""Noise robustness: recovery of planted blocks under dropout.
+"""Robustness: noise tolerance and fault-recovery overhead.
 
-Not a paper figure — the paper mines exact all-ones cubes, and this
-bench quantifies the practical consequence: how quickly recovery of
-planted ground truth degrades as one-cells drop out (measurement
-dropout being the dominant noise in binarized microarray data).  The
-relevance score (average best-match Jaccard of each planted block,
-see :mod:`repro.analysis.recovery`) falls steeply with even a few
-percent dropout — the motivation the later noise-tolerant
-triclustering literature cites.
+Not a paper figure.  Two sweeps:
+
+1. **Dropout** — the paper mines exact all-ones cubes, and this bench
+   quantifies the practical consequence: how quickly recovery of
+   planted ground truth degrades as one-cells drop out (measurement
+   dropout being the dominant noise in binarized microarray data).
+   The relevance score (average best-match Jaccard of each planted
+   block, see :mod:`repro.analysis.recovery`) falls steeply with even
+   a few percent dropout — the motivation the later noise-tolerant
+   triclustering literature cites.
+2. **Fault recovery** — the wall-clock premium the parallel
+   supervisor pays to recover from k injected worker faults
+   (alternating exceptions and hard crashes) relative to a clean run,
+   with result parity asserted at every point.  See
+   docs/robustness.md.
+
+Both series are recorded in ``BENCH_robustness.json``.
 """
 
 from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -18,16 +31,45 @@ from common import print_series_table, timed
 from repro.analysis.recovery import recovery_report
 from repro.api import mine
 from repro.core.constraints import Thresholds
-from repro.datasets import drop_ones, planted_tensor
+from repro.datasets import drop_ones, planted_tensor, random_tensor
+from repro.parallel import (
+    Fault,
+    FaultPlan,
+    parallel_cubeminer_mine,
+    parallel_rsm_mine,
+)
+
+_DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_robustness.json"
 
 DROPOUT_LEVELS = [0.0, 0.02, 0.05, 0.10, 0.20]
 THRESHOLDS = Thresholds(2, 2, 3)
+
+FAULT_COUNTS = [0, 1, 2, 4]
+FAULT_THRESHOLDS = Thresholds(2, 2, 2)
+FAULT_DRIVERS = [
+    ("parallel-rsm", parallel_rsm_mine),
+    ("parallel-cubeminer", parallel_cubeminer_mine),
+]
 
 
 def _planted():
     return planted_tensor(
         (6, 10, 60), n_blocks=5, block_shape=(3, 4, 10),
         background_density=0.05, seed=41,
+    )
+
+
+def _fault_dataset():
+    return random_tensor((6, 12, 30), 0.3, seed=7)
+
+
+def _fault_plan(n_faults: int) -> FaultPlan | None:
+    """k faults on the first k chunks, alternating exception / crash."""
+    if n_faults == 0:
+        return None
+    kinds = ("exception", "crash")
+    return FaultPlan(
+        {chunk: Fault(kinds[chunk % 2]) for chunk in range(n_faults)}
     )
 
 
@@ -47,12 +89,26 @@ def test_robustness_mining_under_dropout(benchmark, dropout):
         assert report.relevance > 0.9
 
 
-def sweep() -> None:
+@pytest.mark.parametrize("n_faults", FAULT_COUNTS, ids=lambda k: f"faults={k}")
+@pytest.mark.parametrize("name,driver", FAULT_DRIVERS, ids=lambda v: str(v))
+def test_recovery_overhead_point(benchmark, name, driver, n_faults):
+    dataset = _fault_dataset()
+    result = benchmark.pedantic(
+        driver,
+        args=(dataset, FAULT_THRESHOLDS),
+        kwargs={"n_workers": 2, "backoff": 0.01, "fault_plan": _fault_plan(n_faults)},
+        rounds=1, iterations=1,
+    )
+    assert len(result) > 0
+
+
+def _dropout_sweep() -> list[dict]:
     planted = _planted()
     series: dict[str, list[float]] = {
         "mine time": [], "relevance": [], "specificity": [],
     }
     counts: list[int] = []
+    records: list[dict] = []
     for dropout in DROPOUT_LEVELS:
         noisy = (
             planted.dataset
@@ -65,6 +121,13 @@ def sweep() -> None:
         series["relevance"].append(report.relevance)
         series["specificity"].append(report.specificity)
         counts.append(len(result))
+        records.append({
+            "dropout": dropout,
+            "seconds": round(elapsed, 4),
+            "n_cubes": len(result),
+            "relevance": round(report.relevance, 4),
+            "specificity": round(report.specificity, 4),
+        })
     print_series_table(
         "Robustness: planted-block recovery vs dropout "
         "(6x10x60, 5 blocks, minH=2 minR=2 minC=3)",
@@ -74,7 +137,59 @@ def sweep() -> None:
         "  note: relevance/specificity columns are scores in [0,1], "
         "not seconds."
     )
+    return records
+
+
+def _recovery_sweep() -> list[dict]:
+    dataset = _fault_dataset()
+    series: dict[str, list[float]] = {name: [] for name, _ in FAULT_DRIVERS}
+    counts: list[int] = []
+    records: list[dict] = []
+    for name, driver in FAULT_DRIVERS:
+        clean = None
+        for n_faults in FAULT_COUNTS:
+            elapsed, result = timed(
+                driver, dataset, FAULT_THRESHOLDS,
+                n_workers=2, backoff=0.01, fault_plan=_fault_plan(n_faults),
+            )
+            if clean is None:
+                clean = result
+            elif list(result) != list(clean):
+                raise AssertionError(
+                    f"{name}: {n_faults} injected faults changed the "
+                    f"result ({len(result)} cubes vs {len(clean)})"
+                )
+            series[name].append(elapsed)
+            recovery = result.stats.extra.get("recovery", {})
+            records.append({
+                "driver": name,
+                "n_faults": n_faults,
+                "seconds": round(elapsed, 4),
+                "n_cubes": len(result),
+                "recovery": recovery,
+            })
+        counts.append(len(clean))
+    print_series_table(
+        "Fault-recovery overhead: clean run vs k injected faults "
+        "(6x12x30, 2 workers, alternating exception/crash)",
+        "faults", FAULT_COUNTS, series,
+    )
+    return records
+
+
+def sweep(output: Path | None = _DEFAULT_OUTPUT) -> dict:
+    dropout_records = _dropout_sweep()
+    print()
+    recovery_records = _recovery_sweep()
+    payload = {
+        "dropout": dropout_records,
+        "fault_recovery": recovery_records,
+    }
+    if output is not None:
+        output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nrobustness series written to {output}")
+    return payload
 
 
 if __name__ == "__main__":
-    sweep()
+    sweep(Path(sys.argv[1]) if len(sys.argv) > 1 else _DEFAULT_OUTPUT)

@@ -230,7 +230,11 @@ def mine(
         (:class:`~repro.options.CubeMinerOptions`,
         :class:`~repro.options.RSMOptions`,
         :class:`~repro.options.ParallelOptions`).  Passing a mismatched
-        class raises :class:`TypeError`.
+        class raises :class:`TypeError`.  For the ``parallel-*``
+        variants, :class:`~repro.options.ParallelOptions` also carries
+        the fault-tolerance knobs (``retries``, ``task_timeout``,
+        ``backoff``) and chunk-level checkpoint/resume
+        (``checkpoint_path``, ``resume``) — see ``docs/robustness.md``.
     metrics:
         A :class:`~repro.obs.metrics.MiningMetrics` to accumulate into;
         a fresh counter set is attached to ``result.stats.metrics``

@@ -19,7 +19,11 @@ even when no cube is found (an empty result is a valid answer).  The
 mining commands accept ``--progress`` (periodic status on stderr),
 ``--deadline SECONDS`` (cooperative wall-clock budget; a run cut short
 exits 124 after printing its partial result) and ``--metrics-json PATH``
-(dump the run's instrumentation counters).
+(dump the run's instrumentation counters).  Parallel algorithms add
+fault-tolerance knobs: ``--retries`` / ``--task-timeout`` /
+``--backoff`` configure the supervisor and ``--checkpoint PATH`` /
+``--resume`` enable chunk-level checkpoint/resume.  A malformed
+dataset file exits 65 (``EX_DATAERR``) with the offending line.
 """
 
 from __future__ import annotations
@@ -43,12 +47,16 @@ from .datasets import (
     random_tensor,
 )
 from .fcp import FCP_MINERS
+from .io import DatasetFormatError
 from .obs import MiningCancelled
 from .options import CubeMinerOptions, ParallelOptions, ReferenceOptions, RSMOptions
 
 #: Exit code of a run cancelled by ``--deadline`` (same convention as
 #: timeout(1)).
 EXIT_DEADLINE = 124
+
+#: Exit code for a malformed dataset file (BSD ``EX_DATAERR``).
+EXIT_DATA = 65
 
 __all__ = ["main", "build_parser"]
 
@@ -163,6 +171,21 @@ def _add_mine_arguments(cmd: argparse.ArgumentParser) -> None:
                      help="CubeMiner height-slice ordering")
     cmd.add_argument("--workers", type=int, default=2,
                      help="worker processes for parallel algorithms")
+    cmd.add_argument("--retries", type=int, default=2,
+                     help="parallel: retry budget per task chunk")
+    cmd.add_argument("--task-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="parallel: per-chunk wall-clock timeout "
+                          "(hung chunks are killed and retried)")
+    cmd.add_argument("--backoff", type=float, default=0.1, metavar="SECONDS",
+                     help="parallel: base delay of the exponential "
+                          "retry backoff")
+    cmd.add_argument("--checkpoint", default=None, metavar="PATH",
+                     help="parallel: stream completed chunks to this "
+                          "journal for checkpoint/resume")
+    cmd.add_argument("--resume", action="store_true",
+                     help="parallel: resume from --checkpoint instead "
+                          "of starting over")
     cmd.add_argument("--kernel", choices=available_kernels(), default=None,
                      help="bitset kernel backend (default: $REPRO_KERNEL "
                           "or python-int)")
@@ -199,6 +222,12 @@ def _load(path: str) -> Dataset3D:
         return Dataset3D.load_npz(path)
     except FileNotFoundError:
         raise SystemExit(f"error: dataset file not found: {path}")
+    except (ValueError, KeyError, OSError) as error:
+        # Not a readable npz tensor (corrupt file, wrong format, text
+        # passed where .npz is expected): exit 65 like other bad data.
+        print(f"error: {path}: not a readable .npz dataset ({error})",
+              file=sys.stderr)
+        raise SystemExit(EXIT_DATA) from None
 
 
 def _options_from_args(args: argparse.Namespace):
@@ -207,15 +236,25 @@ def _options_from_args(args: argparse.Namespace):
         return CubeMinerOptions(order=HeightOrder(args.order))
     if args.algorithm == "rsm":
         return RSMOptions(base_axis=args.base_axis, fcp_miner=args.fcp_miner)
-    if args.algorithm == "parallel-rsm":
+    if args.algorithm in ("parallel-rsm", "parallel-cubeminer"):
+        fault_tolerance = {
+            "retries": args.retries,
+            "task_timeout": args.task_timeout,
+            "backoff": args.backoff,
+            "checkpoint_path": args.checkpoint,
+            "resume": args.resume,
+        }
+        if args.algorithm == "parallel-rsm":
+            return ParallelOptions(
+                n_workers=args.workers,
+                base_axis=args.base_axis,
+                fcp_miner=args.fcp_miner,
+                **fault_tolerance,
+            )
         return ParallelOptions(
             n_workers=args.workers,
-            base_axis=args.base_axis,
-            fcp_miner=args.fcp_miner,
-        )
-    if args.algorithm == "parallel-cubeminer":
-        return ParallelOptions(
-            n_workers=args.workers, order=HeightOrder(args.order)
+            order=HeightOrder(args.order),
+            **fault_tolerance,
         )
     return ReferenceOptions()
 
@@ -309,6 +348,9 @@ def _load_any(path: str) -> Dataset3D:
             return Dataset3D.from_text(handle.read())
     except FileNotFoundError:
         raise SystemExit(f"error: dataset file not found: {path}")
+    except DatasetFormatError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(EXIT_DATA) from None
 
 
 def _convert(args: argparse.Namespace) -> int:

@@ -29,13 +29,42 @@ from .core.dataset import Dataset3D
 from .core.result import MiningResult, MiningStats
 
 __all__ = [
+    "DatasetFormatError",
     "save_triples",
     "load_triples",
     "load_event_csv",
     "result_to_json",
     "result_from_json",
     "result_to_csv",
+    "raw_cubes_to_payload",
+    "raw_cubes_from_payload",
 ]
+
+
+class DatasetFormatError(ValueError):
+    """A dataset file is malformed (bad header, token, range, duplicate).
+
+    Subclasses :class:`ValueError` so pre-existing ``except ValueError``
+    handlers keep working; carries the offending ``path`` and 1-based
+    ``line_no`` when known so tools (and the CLI, which maps this to
+    exit code 65) can point at the exact input line.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | Path | None = None,
+        line_no: int | None = None,
+    ) -> None:
+        prefix = ""
+        if path is not None:
+            prefix += f"{path}: "
+        if line_no is not None:
+            prefix += f"line {line_no}: "
+        super().__init__(prefix + message)
+        self.path = str(path) if path is not None else None
+        self.line_no = line_no
 
 
 # ----------------------------------------------------------------------
@@ -55,40 +84,66 @@ def save_triples(dataset: Dataset3D, path: str | Path) -> None:
 def load_triples(path: str | Path, **label_kwargs) -> Dataset3D:
     """Read a sparse-triples file back into a dataset.
 
-    Blank lines and ``#`` comments are skipped; out-of-range
-    coordinates raise with the offending line number.
+    Blank lines and ``#`` comments are skipped.  Every malformation —
+    truncated or non-numeric header, wrong token counts, non-integer
+    tokens, out-of-range coordinates, duplicate cells — raises a single
+    typed :class:`DatasetFormatError` carrying the offending line
+    number, so callers never see a bare ``ValueError``/``IndexError``
+    from parsing internals.
     """
+    path = Path(path)
     header: tuple[int, int, int] | None = None
     cells: list[tuple[int, int, int]] = []
-    with open(Path(path)) as handle:
+    seen: set[tuple[int, int, int]] = set()
+    with open(path) as handle:
         for line_no, raw in enumerate(handle, start=1):
             line = raw.split("#", 1)[0].strip()
             if not line:
                 continue
             parts = line.split()
             if len(parts) != 3:
-                raise ValueError(
-                    f"line {line_no}: expected 3 integers, got {line!r}"
+                what = "header" if header is None else "cell"
+                raise DatasetFormatError(
+                    f"expected 3 integers for the {what}, got {line!r}",
+                    path=path,
+                    line_no=line_no,
                 )
             try:
                 k, i, j = (int(p) for p in parts)
             except ValueError:
-                raise ValueError(
-                    f"line {line_no}: expected 3 integers, got {line!r}"
+                raise DatasetFormatError(
+                    f"expected 3 integers, got {line!r}",
+                    path=path,
+                    line_no=line_no,
                 ) from None
             if header is None:
                 if min(k, i, j) < 0:
-                    raise ValueError(f"line {line_no}: header sizes must be >= 0")
+                    raise DatasetFormatError(
+                        f"header sizes must be >= 0, got {k} {i} {j}",
+                        path=path,
+                        line_no=line_no,
+                    )
                 header = (k, i, j)
                 continue
             l, n, m = header
             if not (0 <= k < l and 0 <= i < n and 0 <= j < m):
-                raise ValueError(
-                    f"line {line_no}: cell ({k},{i},{j}) outside {l}x{n}x{m}"
+                raise DatasetFormatError(
+                    f"cell ({k},{i},{j}) outside {l}x{n}x{m}",
+                    path=path,
+                    line_no=line_no,
                 )
+            if (k, i, j) in seen:
+                raise DatasetFormatError(
+                    f"duplicate cell ({k},{i},{j})",
+                    path=path,
+                    line_no=line_no,
+                )
+            seen.add((k, i, j))
             cells.append((k, i, j))
     if header is None:
-        raise ValueError("triples file has no 'l n m' header")
+        raise DatasetFormatError(
+            "triples file has no 'l n m' header", path=path
+        )
     return Dataset3D.from_cells(header, cells, **label_kwargs)
 
 
@@ -143,6 +198,29 @@ def load_event_csv(
 # ----------------------------------------------------------------------
 # Results
 # ----------------------------------------------------------------------
+def raw_cubes_to_payload(
+    raw: list[tuple[int, int, int]],
+) -> list[list[int]]:
+    """Serialize raw ``(heights, rows, columns)`` mask triples to JSON.
+
+    Masks are arbitrary-precision ints, which JSON represents exactly;
+    this is the chunk-result wire format of the parallel checkpoint
+    journal (:mod:`repro.parallel.checkpoint`).
+    """
+    return [[int(h), int(r), int(c)] for h, r, c in raw]
+
+
+def raw_cubes_from_payload(payload: list) -> list[tuple[int, int, int]]:
+    """Rebuild raw mask triples from :func:`raw_cubes_to_payload` output."""
+    out: list[tuple[int, int, int]] = []
+    for entry in payload:
+        if len(entry) != 3:
+            raise ValueError(f"expected [h, r, c] masks, got {entry!r}")
+        h, r, c = (int(v) for v in entry)
+        out.append((h, r, c))
+    return out
+
+
 def result_to_json(result: MiningResult, dataset: Dataset3D | None = None) -> str:
     """Serialize a result (with optional labels) to a JSON document."""
     payload: dict = {

@@ -9,14 +9,18 @@ cooperative cancellation and wall-clock deadlines.  See
 """
 
 from .events import (
+    CheckpointWritten,
     CollectingSink,
     EventSink,
     MineDone,
     MineStart,
     MiningEvent,
     NodeEvent,
+    PoolRestarted,
     PruneEvent,
     SliceEvent,
+    TaskFailed,
+    TaskRetried,
     null_sink,
 )
 from .metrics import PRUNE_FIELDS, MiningMetrics
@@ -35,6 +39,10 @@ __all__ = [
     "NodeEvent",
     "PruneEvent",
     "SliceEvent",
+    "TaskFailed",
+    "TaskRetried",
+    "PoolRestarted",
+    "CheckpointWritten",
     "MiningEvent",
     "EventSink",
     "CollectingSink",

@@ -14,6 +14,10 @@ hot paths; with no sink attached nothing is ever constructed):
   ``"pruned_left_track"``; RSM's Lemma-1 discards use
   ``"postprune_discards"``).
 * :class:`SliceEvent` — one RSM representative slice mined.
+* :class:`TaskFailed` / :class:`TaskRetried` / :class:`PoolRestarted` /
+  :class:`CheckpointWritten` — fault-tolerance lifecycle of the
+  supervised parallel drivers (:mod:`repro.parallel.supervisor`); these
+  fire on the driver side, so they reach sinks even for pool runs.
 
 :class:`CollectingSink` gathers events in memory for tests and
 analysis; :func:`null_sink` discards them (used by the overhead guard).
@@ -29,6 +33,10 @@ __all__ = [
     "NodeEvent",
     "PruneEvent",
     "SliceEvent",
+    "TaskFailed",
+    "TaskRetried",
+    "PoolRestarted",
+    "CheckpointWritten",
     "MiningEvent",
     "EventSink",
     "CollectingSink",
@@ -91,7 +99,57 @@ class SliceEvent(NamedTuple):
     kind = "slice"
 
 
-MiningEvent = Union[MineStart, MineDone, NodeEvent, PruneEvent, SliceEvent]
+class TaskFailed(NamedTuple):
+    """One attempt of a supervised parallel chunk failed."""
+
+    chunk: int         # chunk index within the run's dispatch order
+    attempt: int       # 0-based attempt number that failed
+    cause: str         # "exception" | "timeout" | "pool-broken"
+    error: str         # repr of the underlying error, if any
+
+    kind = "task-failed"
+
+
+class TaskRetried(NamedTuple):
+    """A failed chunk was requeued for another attempt."""
+
+    chunk: int
+    attempt: int           # the attempt number about to run
+    delay_seconds: float   # backoff applied before the retry
+
+    kind = "task-retried"
+
+
+class PoolRestarted(NamedTuple):
+    """The worker pool was torn down and respawned (or abandoned)."""
+
+    restarts: int      # cumulative restarts so far in this run
+    cause: str         # "pool-broken" | "timeout" | "degraded-inline"
+
+    kind = "pool-restart"
+
+
+class CheckpointWritten(NamedTuple):
+    """One completed chunk was appended to the checkpoint journal."""
+
+    chunk: int
+    n_cubes: int
+    path: str
+
+    kind = "checkpoint"
+
+
+MiningEvent = Union[
+    MineStart,
+    MineDone,
+    NodeEvent,
+    PruneEvent,
+    SliceEvent,
+    TaskFailed,
+    TaskRetried,
+    PoolRestarted,
+    CheckpointWritten,
+]
 
 #: An event sink is any callable accepting one :data:`MiningEvent`.
 EventSink = Callable[[MiningEvent], None]

@@ -105,12 +105,28 @@ class ParallelOptions(_OptionsBase):
     base_axis: int | str = "auto"
     #: parallel-rsm: 2D miner name for phase 2.
     fcp_miner: str = "dminer"
+    #: Retry budget per task chunk beyond the first attempt.
+    retries: int = 2
+    #: Per-chunk wall-clock timeout in seconds (``None`` = none); a
+    #: chunk past it is treated as hung and the pool is re-spawned.
+    task_timeout: float | None = None
+    #: Base delay (seconds) of the exponential retry backoff.
+    backoff: float = 0.1
+    #: Path of the chunk-level checkpoint journal (``None`` = off).
+    checkpoint_path: str | None = None
+    #: Resume from ``checkpoint_path`` instead of truncating it.
+    resume: bool = False
 
     def to_kwargs(self, algorithm: str = "parallel-cubeminer") -> dict:
         self._check(algorithm)
         kwargs = {
             "n_workers": self.n_workers,
             "chunks_per_worker": self.chunks_per_worker,
+            "retries": self.retries,
+            "task_timeout": self.task_timeout,
+            "backoff": self.backoff,
+            "checkpoint_path": self.checkpoint_path,
+            "resume": self.resume,
         }
         if algorithm == "parallel-cubeminer":
             kwargs["order"] = self.order

@@ -1,6 +1,14 @@
-"""Parallel FCC mining (Section 6): real pools and a scheduler simulator."""
+"""Parallel FCC mining (Section 6): supervised pools, checkpointing,
+fault injection, and a scheduler simulator."""
 
+from .checkpoint import (
+    CheckpointJournal,
+    CheckpointMismatchError,
+    load_journal,
+    run_fingerprint,
+)
 from .executor import parallel_cubeminer_mine, parallel_rsm_mine
+from .faults import FAULT_KINDS, Fault, FaultInjected, FaultPlan
 from .simulator import (
     CommunicationModel,
     measure_cubeminer_task_times,
@@ -8,11 +16,23 @@ from .simulator import (
     schedule_makespan,
     simulate_response_times,
 )
+from .supervisor import RetryPolicy, TaskFailedError, run_supervised
 from .tasks import CubeMinerTask, cubeminer_tasks, rsm_tasks
 
 __all__ = [
     "parallel_cubeminer_mine",
     "parallel_rsm_mine",
+    "CheckpointJournal",
+    "CheckpointMismatchError",
+    "load_journal",
+    "run_fingerprint",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "RetryPolicy",
+    "TaskFailedError",
+    "run_supervised",
     "CommunicationModel",
     "measure_cubeminer_task_times",
     "measure_rsm_task_times",

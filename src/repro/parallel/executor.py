@@ -12,24 +12,36 @@ inter-worker communication:
   splitting tree; a worker resumes the sequential engine from the
   branch's node, cutter index and track sets.
 
-Both functions fall back to inline execution for ``n_workers == 1`` or
-trivially small task lists, so results and tests do not depend on
-multiprocessing availability.
+Both drivers dispatch their task chunks through
+:func:`~repro.parallel.supervisor.run_supervised`, which supervises the
+pool: worker crashes and hung chunks are detected, failed chunks retry
+with exponential backoff under a bounded budget, a poisoned pool is
+re-spawned (and, past ``max_pool_restarts``, the run degrades to inline
+sequential execution), and completed chunks optionally stream to a
+checkpoint journal so an interrupted run can resume
+(``checkpoint_path=`` / ``resume=``).  ``n_workers == 1`` and trivially
+small task lists run inline through the same code path, so results and
+tests do not depend on multiprocessing availability and both paths
+share one result/metrics shape — including on cancellation.
 
 Instrumentation: each worker accumulates its own
 :class:`~repro.obs.metrics.MiningMetrics` and ships it back with its
-chunk result; the driver merges them so a parallel run reports the
-same counter totals a sequential run would.  Progress checkpoints and
-deadlines are evaluated in the driver between chunk completions (and
-inside the engine on the inline path) — event sinks, being arbitrary
-callables, do not cross process boundaries and only fire on the inline
-path.
+chunk result; the driver merges each chunk's tallies exactly once
+(failed attempts return nothing), so a parallel run — even one that
+retried faults — reports the same counter totals a sequential run
+would.  Progress checkpoints and deadlines are evaluated in the driver
+between chunk completions (and inside the engine on the inline path).
+Worker-side event sinks, being arbitrary callables, do not cross
+process boundaries and only fire on the inline path; the supervision
+events (``TaskFailed``, ``TaskRetried``, ``PoolRestarted``,
+``CheckpointWritten``) fire driver-side and therefore always reach
+``on_event``.
 """
 
 from __future__ import annotations
 
 import time
-from multiprocessing import get_context
+from pathlib import Path
 
 from ..core.constraints import Thresholds
 from ..core.cube import Cube
@@ -53,6 +65,9 @@ from ..obs import (
 from ..rsm.algorithm import resolve_base_axis
 from ..rsm.postprune import height_closed_in
 from ..rsm.slices import representative_slice
+from .checkpoint import CheckpointJournal, run_fingerprint
+from .faults import FaultPlan
+from .supervisor import RetryPolicy, run_supervised
 from .tasks import CubeMinerTask, cubeminer_tasks, rsm_tasks
 
 __all__ = ["parallel_rsm_mine", "parallel_cubeminer_mine"]
@@ -189,43 +204,29 @@ def _chunked(items: list, n_chunks: int) -> list[list]:
     return chunks
 
 
-def _drain_pool(
-    pool_cls_args: tuple,
-    worker_fn,
+def _open_journal(
+    checkpoint_path: "str | Path | None",
+    *,
+    algorithm: str,
+    dataset_shape: tuple[int, int, int],
+    thresholds: Thresholds,
     chunks: list[list],
-    stats: MiningMetrics,
-    controller: ProgressController | None,
-    phase: str,
-) -> list:
-    """Run ``worker_fn`` over ``chunks`` in a pool, merging metrics.
-
-    Results stream back in order so the driver can checkpoint between
-    chunk completions; on cancellation the pool is terminated (via the
-    context manager) and the partial raw cubes are attached to the
-    exception.
-    """
-    ctx = get_context()
-    processes, initializer, initargs = pool_cls_args
-    raw: list = []
-    with ctx.Pool(
-        processes=processes, initializer=initializer, initargs=initargs
-    ) as pool:
-        try:
-            for done, (part, tallies) in enumerate(
-                pool.imap(worker_fn, chunks), start=1
-            ):
-                raw.extend(part)
-                stats.merge(MiningMetrics.from_dict(tallies))
-                stats.workers_merged += 1
-                if controller is not None:
-                    controller.checkpoint(
-                        stats, phase=phase, done=done, total=len(chunks)
-                    )
-        except MiningCancelled as exc:
-            exc.partial_cubes = raw
-            exc.metrics = stats
-            raise
-    return raw
+    resume: bool,
+) -> CheckpointJournal | None:
+    if checkpoint_path is None:
+        return None
+    return CheckpointJournal.open(
+        checkpoint_path,
+        algorithm=algorithm,
+        fingerprint=run_fingerprint(
+            algorithm,
+            dataset_shape,
+            thresholds.as_tuple() + (thresholds.min_volume,),
+            chunks,
+        ),
+        n_chunks=len(chunks),
+        resume=resume,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -240,6 +241,12 @@ def parallel_rsm_mine(
     fcp_miner: str = "dminer",
     chunks_per_worker: int = 4,
     kernel: str | Kernel | None = None,
+    retries: int = 2,
+    task_timeout: float | None = None,
+    backoff: float = 0.1,
+    checkpoint_path: "str | Path | None" = None,
+    resume: bool = False,
+    fault_plan: FaultPlan | None = None,
     metrics: MiningMetrics | None = None,
     on_event: EventSink | None = None,
     progress: "ProgressController | callable | None" = None,
@@ -261,6 +268,7 @@ def parallel_rsm_mine(
     working = dataset if axis == 0 else dataset.transpose(order)  # type: ignore[arg-type]
     working_thresholds = thresholds.permute(order)
     algorithm = f"parallel-rsm-{axis_name}[{fcp_miner}]x{n_workers}"
+    policy = RetryPolicy(retries=retries, task_timeout=task_timeout, backoff=backoff)
     if on_event is not None:
         on_event(
             MineStart(
@@ -271,19 +279,20 @@ def parallel_rsm_mine(
         )
 
     tasks: list[int] = []
+    recovery: dict | None = None
 
     def finish(raw: list[tuple[int, int, int]]) -> MiningResult:
         cubes = [map_cube_from_transposed(Cube(h, r, c), order) for h, r, c in raw]
+        extra: dict = {"n_tasks": len(tasks), "n_workers": n_workers}
+        if recovery is not None:
+            extra["recovery"] = recovery
         return MiningResult(
             cubes=cubes,
             algorithm=algorithm,
             thresholds=thresholds,
             dataset_shape=dataset.shape,
             elapsed_seconds=time.perf_counter() - start,
-            stats=MiningStats(
-                metrics=stats,
-                extra={"n_tasks": len(tasks), "n_workers": n_workers},
-            ),
+            stats=MiningStats(metrics=stats, extra=extra),
         )
 
     try:
@@ -298,23 +307,35 @@ def parallel_rsm_mine(
             controller.checkpoint(
                 stats, phase="parallel-rsm", done=0, total=len(tasks)
             )
-        if n_workers == 1 or len(tasks) <= 1:
-            _init_rsm_worker(working, working_thresholds, fcp_miner, kernel_name)
-            raw, _ = _rsm_worker_chunk(tasks, controller, on_event, stats)
-        else:
-            chunks = _chunked(tasks, n_workers * chunks_per_worker)
-            raw = _drain_pool(
-                (
-                    n_workers,
-                    _init_rsm_worker,
-                    (working, working_thresholds, fcp_miner, kernel_name),
-                ),
-                _rsm_worker_chunk,
+        chunks = _chunked(tasks, n_workers * chunks_per_worker) if tasks else []
+        # The journal stores working-axis triples; the fingerprint binds
+        # it to this exact decomposition (and axis, via the algorithm).
+        journal = _open_journal(
+            checkpoint_path,
+            algorithm=algorithm,
+            dataset_shape=dataset.shape,
+            thresholds=thresholds,
+            chunks=chunks,
+            resume=resume,
+        )
+        try:
+            raw, recovery = run_supervised(
                 chunks,
-                stats,
-                controller,
-                "parallel-rsm",
+                _rsm_worker_chunk,
+                _init_rsm_worker,
+                (working, working_thresholds, fcp_miner, kernel_name),
+                n_workers,
+                stats=stats,
+                policy=policy,
+                controller=controller,
+                sink=on_event,
+                phase="parallel-rsm",
+                journal=journal,
+                fault_plan=fault_plan,
             )
+        finally:
+            if journal is not None:
+                journal.close()
     except MiningCancelled as exc:
         elapsed = time.perf_counter() - start
         exc.metrics = stats
@@ -338,6 +359,12 @@ def parallel_cubeminer_mine(
     min_tasks: int | None = None,
     chunks_per_worker: int = 4,
     kernel: str | Kernel | None = None,
+    retries: int = 2,
+    task_timeout: float | None = None,
+    backoff: float = 0.1,
+    checkpoint_path: "str | Path | None" = None,
+    resume: bool = False,
+    fault_plan: FaultPlan | None = None,
     metrics: MiningMetrics | None = None,
     on_event: EventSink | None = None,
     progress: "ProgressController | callable | None" = None,
@@ -358,6 +385,7 @@ def parallel_cubeminer_mine(
     if min_tasks is None:
         min_tasks = max(8 * n_workers, 1)
     algorithm = f"parallel-cubeminer[{order.value}]x{n_workers}"
+    policy = RetryPolicy(retries=retries, task_timeout=task_timeout, backoff=backoff)
     if on_event is not None:
         on_event(
             MineStart(
@@ -368,23 +396,24 @@ def parallel_cubeminer_mine(
         )
     tasks: list[CubeMinerTask] = []
     done: list[Cube] = []
+    recovery: dict | None = None
 
     def finish(raw: list[tuple[int, int, int]]) -> MiningResult:
         cubes = list(done) + [Cube(h, r, c) for h, r, c in raw]
+        extra: dict = {
+            "n_tasks": len(tasks),
+            "n_workers": n_workers,
+            "fccs_during_expansion": len(done),
+        }
+        if recovery is not None:
+            extra["recovery"] = recovery
         return MiningResult(
             cubes=cubes,
             algorithm=algorithm,
             thresholds=thresholds,
             dataset_shape=dataset.shape,
             elapsed_seconds=time.perf_counter() - start,
-            stats=MiningStats(
-                metrics=stats,
-                extra={
-                    "n_tasks": len(tasks),
-                    "n_workers": n_workers,
-                    "fccs_during_expansion": len(done),
-                },
-            ),
+            stats=MiningStats(metrics=stats, extra=extra),
         )
 
     try:
@@ -399,23 +428,35 @@ def parallel_cubeminer_mine(
             controller.checkpoint(
                 stats, phase="parallel-cubeminer", done=0, total=len(tasks)
             )
-        if n_workers == 1 or len(tasks) <= 1:
-            _init_cubeminer_worker(dataset, thresholds, cutters, kernel_name)
-            raw, _ = _cubeminer_worker_chunk(tasks, controller, on_event, stats)
-        else:
-            chunks = _chunked(tasks, n_workers * chunks_per_worker)
-            raw = _drain_pool(
-                (
-                    n_workers,
-                    _init_cubeminer_worker,
-                    (dataset, thresholds, cutters, kernel_name),
-                ),
-                _cubeminer_worker_chunk,
+        chunks = _chunked(tasks, n_workers * chunks_per_worker) if tasks else []
+        # Expansion-phase FCCs (``done``) are deterministic re-derivations
+        # on resume, so the journal only needs the chunk results.
+        journal = _open_journal(
+            checkpoint_path,
+            algorithm=algorithm,
+            dataset_shape=dataset.shape,
+            thresholds=thresholds,
+            chunks=chunks,
+            resume=resume,
+        )
+        try:
+            raw, recovery = run_supervised(
                 chunks,
-                stats,
-                controller,
-                "parallel-cubeminer",
+                _cubeminer_worker_chunk,
+                _init_cubeminer_worker,
+                (dataset, thresholds, cutters, kernel_name),
+                n_workers,
+                stats=stats,
+                policy=policy,
+                controller=controller,
+                sink=on_event,
+                phase="parallel-cubeminer",
+                journal=journal,
+                fault_plan=fault_plan,
             )
+        finally:
+            if journal is not None:
+                journal.close()
     except MiningCancelled as exc:
         elapsed = time.perf_counter() - start
         exc.metrics = stats

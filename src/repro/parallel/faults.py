@@ -1,0 +1,174 @@
+"""Deterministic fault injection for the supervised parallel drivers.
+
+A :class:`FaultPlan` maps supervisor chunk indices to faults; the plan
+travels to every worker process through the pool initializer, and the
+worker fires its chunk's fault *before* mining starts, so an injected
+failure never leaks partial tallies into the merged metrics.  Four
+fault kinds cover the real-world failure modes of a process pool:
+
+* ``"crash"``     — the worker dies abruptly (``os._exit``), poisoning
+  the pool exactly like an OOM kill;
+* ``"hang"``      — the worker sleeps past any reasonable per-task
+  timeout, modelling a livelock or a lost worker;
+* ``"slow"``      — the worker sleeps for a bounded time and then
+  completes normally (a straggler);
+* ``"exception"`` — the worker raises :class:`FaultInjected`, modelling
+  an in-task software error.
+
+Faults only fire inside *worker* processes (the plan records the
+driver's PID at construction); the inline degraded path therefore
+always completes, which is exactly the recovery guarantee the test
+suite asserts.  By default a fault fires on attempt 0 only, so a retry
+of the same chunk succeeds; pass ``attempts=None`` to make a fault
+permanent (used to exercise budget exhaustion and pool-irrecoverable
+degradation).
+
+:meth:`FaultPlan.random` draws a seeded plan for randomized suites and
+the recovery-overhead benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["FAULT_KINDS", "Fault", "FaultInjected", "FaultPlan"]
+
+#: Fault kinds a plan may inject, in canonical order.
+FAULT_KINDS = ("crash", "hang", "slow", "exception")
+
+#: Exit status used by ``"crash"`` faults (distinctive in worker logs).
+CRASH_EXIT_CODE = 87
+
+
+class FaultInjected(RuntimeError):
+    """The error raised in a worker by an ``"exception"`` fault."""
+
+    def __init__(self, chunk: int, attempt: int) -> None:
+        super().__init__(f"injected fault in chunk {chunk} (attempt {attempt})")
+        self.chunk = chunk
+        self.attempt = attempt
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the message) into
+        # ``__init__``, which takes (chunk, attempt) — without this the
+        # exception fails to unpickle in the driver and a plain task
+        # error masquerades as a broken pool.
+        return (type(self), (self.chunk, self.attempt))
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault: what happens and on which attempts.
+
+    ``attempts`` is the set of 0-based attempt numbers the fault fires
+    on (default: first attempt only); ``None`` means *every* attempt —
+    a permanent fault that forces the supervisor to exhaust its budget
+    or degrade to inline execution.  ``seconds`` parameterizes the
+    sleep of ``"hang"`` / ``"slow"`` faults.
+    """
+
+    kind: str
+    seconds: float = 30.0
+    attempts: frozenset[int] | None = frozenset({0})
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+        if self.attempts is not None:
+            object.__setattr__(self, "attempts", frozenset(self.attempts))
+
+    def applies_to(self, attempt: int) -> bool:
+        return self.attempts is None or attempt in self.attempts
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable map of chunk index -> :class:`Fault`.
+
+    The plan is created in the driver and shipped to workers via the
+    pool initializer; :meth:`fire` is a no-op in the driver process
+    itself, so inline (degraded) execution never faults.
+    """
+
+    faults: dict[int, Fault] = field(default_factory=dict)
+    driver_pid: int = field(default_factory=os.getpid)
+
+    def __post_init__(self) -> None:
+        for index, fault in self.faults.items():
+            if not isinstance(fault, Fault):
+                raise TypeError(
+                    f"chunk {index}: expected a Fault, got {type(fault).__name__}"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(cls, chunk: int, kind: str, **fault_kwargs) -> "FaultPlan":
+        """A plan with one fault at ``chunk``."""
+        return cls(faults={int(chunk): Fault(kind, **fault_kwargs)})
+
+    @classmethod
+    def random(
+        cls,
+        n_chunks: int,
+        n_faults: int,
+        *,
+        kinds: tuple[str, ...] = ("crash", "exception"),
+        seconds: float = 30.0,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """A seeded plan injecting ``n_faults`` faults over ``n_chunks``.
+
+        Chunk indices are drawn without replacement; kinds cycle through
+        a seeded shuffle of ``kinds`` so every requested kind appears
+        when ``n_faults >= len(kinds)``.
+        """
+        if n_chunks < 0:
+            raise ValueError(f"n_chunks must be >= 0, got {n_chunks}")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}"
+                )
+        n_faults = min(n_faults, n_chunks)
+        rng = random.Random(seed)
+        indices = rng.sample(range(n_chunks), n_faults)
+        return cls(
+            faults={
+                index: Fault(kinds[i % len(kinds)], seconds=seconds)
+                for i, index in enumerate(indices)
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Worker-side hook
+    # ------------------------------------------------------------------
+    def fire(self, chunk: int, attempt: int) -> None:
+        """Inject the chunk's fault, if any — worker processes only."""
+        if os.getpid() == self.driver_pid:
+            return
+        fault = self.faults.get(chunk)
+        if fault is None or not fault.applies_to(attempt):
+            return
+        if fault.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        elif fault.kind in ("hang", "slow"):
+            time.sleep(fault.seconds)
+            if fault.kind == "hang":
+                # A "hang" that outlives its sleep still never returns a
+                # result; exiting keeps a killed-pool test from leaking
+                # a live worker that later writes to a closed pipe.
+                os._exit(CRASH_EXIT_CODE)
+        else:
+            raise FaultInjected(chunk, attempt)
+
+    def __len__(self) -> int:
+        return len(self.faults)

@@ -297,3 +297,66 @@ class TestParser:
     def test_mine_requires_input(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["mine"])
+
+
+class TestRobustnessFlags:
+    def test_fault_tolerance_flags_wired_into_options(self, tmp_path):
+        from repro.cli import _options_from_args
+
+        checkpoint = str(tmp_path / "run.jsonl")
+        args = build_parser().parse_args([
+            "mine", "--input", "x.npz", "--algorithm", "parallel-rsm",
+            "--retries", "5", "--task-timeout", "7.5", "--backoff", "0.25",
+            "--checkpoint", checkpoint, "--resume",
+        ])
+        options = _options_from_args(args)
+        assert options.retries == 5
+        assert options.task_timeout == 7.5
+        assert options.backoff == 0.25
+        assert options.checkpoint_path == checkpoint
+        assert options.resume is True
+        kwargs = options.to_kwargs("parallel-rsm")
+        assert kwargs["retries"] == 5 and kwargs["resume"] is True
+
+    def test_checkpoint_then_resume_flow(self, dataset_file, tmp_path, capsys):
+        checkpoint = str(tmp_path / "run.jsonl")
+        base = [
+            "mine", "--input", dataset_file, "--algorithm", "parallel-rsm",
+            "--workers", "2", "--checkpoint", checkpoint,
+        ]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "5 FCCs" in first and "5 FCCs" in second
+
+    def test_malformed_triples_exit_65(self, tmp_path, capsys):
+        bad = tmp_path / "bad.triples"
+        bad.write_text("2 2 2\n0 0 9\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "convert", "--input", str(bad),
+                "--out", str(tmp_path / "out.npz"),
+            ])
+        assert excinfo.value.code == 65
+        err = capsys.readouterr().err
+        assert "line 2" in err and "outside" in err
+
+    def test_duplicate_cell_exit_65(self, tmp_path, capsys):
+        bad = tmp_path / "dup.triples"
+        bad.write_text("2 2 2\n0 0 1\n0 0 1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "convert", "--input", str(bad),
+                "--out", str(tmp_path / "out.npz"),
+            ])
+        assert excinfo.value.code == 65
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_unreadable_npz_exit_65(self, tmp_path, capsys):
+        bad = tmp_path / "not-really.npz"
+        bad.write_text("this is not a zip archive")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stats", "--input", str(bad)])
+        assert excinfo.value.code == 65
+        assert "not a readable .npz" in capsys.readouterr().err

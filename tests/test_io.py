@@ -12,7 +12,10 @@ import pytest
 from repro.api import mine
 from repro.core.dataset import Dataset3D
 from repro.io import (
+    DatasetFormatError,
     load_triples,
+    raw_cubes_from_payload,
+    raw_cubes_to_payload,
     result_from_json,
     result_to_csv,
     result_to_json,
@@ -70,6 +73,70 @@ class TestTriples:
         path = tmp_path / "zeros.triples"
         save_triples(ds, path)
         assert load_triples(path).count_ones() == 0
+
+
+class TestDatasetFormatError:
+    """Every malformation raises the one typed error with a line number."""
+
+    def write(self, tmp_path, text):
+        path = tmp_path / "bad.triples"
+        path.write_text(text)
+        return path
+
+    def test_out_of_range_cell_is_typed(self, tmp_path):
+        path = self.write(tmp_path, "2 2 2\n0 0 5\n")
+        with pytest.raises(DatasetFormatError) as excinfo:
+            load_triples(path)
+        assert excinfo.value.line_no == 2
+        assert excinfo.value.path == str(path)
+
+    def test_duplicate_cell(self, tmp_path):
+        path = self.write(tmp_path, "2 2 2\n0 0 1\n1 1 1\n0 0 1\n")
+        with pytest.raises(DatasetFormatError, match="duplicate cell") as excinfo:
+            load_triples(path)
+        assert excinfo.value.line_no == 4
+
+    def test_truncated_header(self, tmp_path):
+        path = self.write(tmp_path, "2 2\n0 0 0\n")
+        with pytest.raises(DatasetFormatError, match="header"):
+            load_triples(path)
+
+    def test_negative_header(self, tmp_path):
+        path = self.write(tmp_path, "2 -2 2\n")
+        with pytest.raises(DatasetFormatError, match=">= 0"):
+            load_triples(path)
+
+    def test_non_integer_token(self, tmp_path):
+        path = self.write(tmp_path, "2 2 2\n0 0.5 1\n")
+        with pytest.raises(DatasetFormatError, match="line 2"):
+            load_triples(path)
+
+    def test_missing_header_reports_no_line(self, tmp_path):
+        path = self.write(tmp_path, "# nothing here\n")
+        with pytest.raises(DatasetFormatError, match="header") as excinfo:
+            load_triples(path)
+        assert excinfo.value.line_no is None
+
+    def test_is_a_value_error(self, tmp_path):
+        # Pre-existing `except ValueError` handlers must keep working.
+        path = self.write(tmp_path, "2 2 2\n9 9 9\n")
+        with pytest.raises(ValueError):
+            load_triples(path)
+
+    def test_message_carries_path_and_line(self, tmp_path):
+        path = self.write(tmp_path, "2 2 2\nx y z\n")
+        with pytest.raises(DatasetFormatError, match="line 2"):
+            load_triples(path)
+
+
+class TestRawCubePayload:
+    def test_round_trip_bigints(self):
+        raw = [((1 << 200) | 5, 0b1011, 1), (0, 0, 0)]
+        assert raw_cubes_from_payload(raw_cubes_to_payload(raw)) == raw
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ValueError, match="masks"):
+            raw_cubes_from_payload([[1, 2]])
 
 
 class TestEventCsv:

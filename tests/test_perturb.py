@@ -7,6 +7,7 @@ import pytest
 
 from repro.api import mine
 from repro.core.constraints import Thresholds
+from repro.core.dataset import Dataset3D
 from repro.datasets import (
     add_ones,
     drop_ones,
@@ -64,6 +65,46 @@ class TestOneSidedNoise:
 
     def test_add_everything(self, paper_ds):
         assert add_ones(paper_ds, 1.0, seed=0).density == 1.0
+
+
+class TestDropOnesEdges:
+    def test_zero_rate_is_identity(self, paper_ds):
+        assert drop_ones(paper_ds, 0.0, seed=0) == paper_ds
+
+    def test_full_rate_leaves_no_ones(self, paper_ds):
+        dropped = drop_ones(paper_ds, 1.0, seed=9)
+        assert dropped.count_ones() == 0
+        assert dropped.shape == paper_ds.shape
+
+    def test_empty_tensor_is_noop_at_any_rate(self):
+        empty = Dataset3D(np.zeros((2, 3, 4), dtype=bool))
+        for rate in (0.0, 0.5, 1.0):
+            assert drop_ones(empty, rate, seed=1).count_ones() == 0
+
+    def test_seed_determinism(self, paper_ds):
+        assert drop_ones(paper_ds, 0.4, seed=7) == drop_ones(
+            paper_ds, 0.4, seed=7
+        )
+        assert drop_ones(paper_ds, 0.4, seed=7) != drop_ones(
+            paper_ds, 0.4, seed=8
+        )
+
+    def test_accepts_generator_seed(self, paper_ds):
+        a = drop_ones(paper_ds, 0.4, seed=np.random.default_rng(11))
+        b = drop_ones(paper_ds, 0.4, seed=np.random.default_rng(11))
+        assert a == b
+
+    def test_labels_preserved(self, paper_ds):
+        assert (
+            drop_ones(paper_ds, 0.5, seed=2).height_labels
+            == paper_ds.height_labels
+        )
+
+    def test_invalid_rate_rejected(self, paper_ds):
+        with pytest.raises(ValueError, match="fraction"):
+            drop_ones(paper_ds, -0.1)
+        with pytest.raises(ValueError, match="fraction"):
+            drop_ones(paper_ds, 1.01)
 
 
 class TestShuffleHeights:
