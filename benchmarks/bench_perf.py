@@ -1,0 +1,367 @@
+"""Hot-path performance guard: closure memoization and slice folding.
+
+The performance layer makes two machine-portable promises:
+
+* **CubeMiner memoization** — the zero-witness closure cache
+  (:class:`repro.core.closure.ClosureCache`) must keep the memoized run
+  at least ``memo_speedup_floor`` times faster than the same run with
+  the cache disabled, while producing the *bit-identical* cube list
+  (the bench asserts equality on every pair);
+* **RSM prefix folding** — the incremental per-size slice enumeration
+  (:func:`repro.rsm.slices.iter_size_slices`) must stay at least
+  ``fold_speedup_floor`` times faster than the one-shot fold of
+  :func:`repro.rsm.slices.iter_representative_slices` over the same
+  subsets.
+
+Absolute seconds vary wildly across CI runners, so the committed
+baseline (``BENCH_perf.json``) gates only quantities that do not:
+
+* **work counters** (nodes visited, leaves, cubes, cache hits/misses,
+  slices mined, 2D patterns) are exact-matched — they are functions of
+  the seeded workload alone, identical on every machine and kernel, so
+  any drift means the algorithm changed and the baseline must be
+  refreshed deliberately (``--update-baseline``);
+* **speedup ratios** are measured as the median over interleaved
+  pairs on the CPU clock (the two configurations of a pair share
+  machine conditions, so load bursts cancel) and compared against the
+  floors and the baseline ratios with ``--tolerance`` percent slack;
+  with ``--check`` the measurement is retried up to ``--rounds`` times
+  and only a run that fails every round fails the build.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py
+    PYTHONPATH=src python benchmarks/bench_perf.py --check \
+        --baseline BENCH_perf.json --tolerance 25
+    PYTHONPATH=src python benchmarks/bench_perf.py --update-baseline \
+        --baseline BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from common import large_synthetic_bench, synthetic_heights_bench, thresholds_for
+from repro.core.constraints import Thresholds
+from repro.core.kernels import available_kernels
+from repro.cubeminer.algorithm import cubeminer_mine
+from repro.rsm.algorithm import rsm_mine
+from repro.rsm.slices import iter_representative_slices, iter_size_slices
+
+#: Bump when the file layout changes incompatibly; ``--check`` refuses
+#: to compare baselines with a different version.
+SCHEMA_VERSION = 1
+
+#: Ratio gates: machine-portable floors the measured speedups must
+#: clear (before tolerance is applied to the baseline ratios).
+MEMO_SPEEDUP_FLOOR = 1.3
+FOLD_SPEEDUP_FLOOR = 1.2
+
+_CUBEMINER_THRESHOLDS = Thresholds(8, 8, 10)
+_RSM_MIN_H = 4
+
+
+def _default_kernel() -> str:
+    kernels = available_kernels()
+    return "numpy" if "numpy" in kernels else kernels[0]
+
+
+def _cubeminer_workload(kernel: str):
+    dataset = large_synthetic_bench().with_kernel(kernel)
+    dataset.ones_grid()  # pre-pack so timing excludes one-time setup
+    return dataset, _CUBEMINER_THRESHOLDS
+
+
+def _rsm_workload(kernel: str):
+    dataset = synthetic_heights_bench(12).with_kernel(kernel)
+    dataset.ones_grid()
+    return dataset, thresholds_for(dataset, _RSM_MIN_H, 4, 20)
+
+
+def _measure_cubeminer(kernel: str, repeats: int) -> dict:
+    """Interleaved uncached/cached CubeMiner pairs; asserts parity."""
+    dataset, thresholds = _cubeminer_workload(kernel)
+
+    def run(cache_spec):
+        start = time.process_time()
+        result = cubeminer_mine(dataset, thresholds, closure_cache=cache_spec)
+        return time.process_time() - start, result
+
+    run(0)  # warm both paths
+    run(None)
+    off_times, on_times, ratios = [], [], []
+    reference = None
+    for _ in range(repeats):
+        off_seconds, off_result = run(0)
+        on_seconds, on_result = run(None)
+        if off_result.cubes != on_result.cubes:
+            raise AssertionError(
+                "memoized CubeMiner produced a different cube list"
+            )
+        reference = on_result
+        off_times.append(off_seconds)
+        on_times.append(on_seconds)
+        ratios.append(off_seconds / on_seconds)
+    metrics = reference.stats.metrics
+    return {
+        "counters": {
+            "nodes_visited": metrics.nodes_visited,
+            "leaves_emitted": metrics.leaves_emitted,
+            "n_cubes": len(reference),
+            "closure_cache_hits": metrics.closure_cache_hits,
+            "closure_cache_misses": metrics.closure_cache_misses,
+        },
+        "uncached_seconds": min(off_times),
+        "cached_seconds": min(on_times),
+        "memo_speedup": statistics.median(ratios),
+    }
+
+
+def _measure_rsm(kernel: str, repeats: int) -> dict:
+    """One-shot vs incremental slice folding, plus a full-run counter set."""
+    dataset, thresholds = _rsm_workload(kernel)
+    min_h = thresholds.min_h
+
+    def fold_oneshot():
+        start = time.process_time()
+        n = sum(1 for _ in iter_representative_slices(dataset, min_h))
+        return time.process_time() - start, n
+
+    def fold_incremental():
+        start = time.process_time()
+        n = 0
+        for size in range(min_h, dataset.n_heights + 1):
+            for _ in iter_size_slices(dataset, size):
+                n += 1
+        return time.process_time() - start, n
+
+    fold_oneshot()  # warm up
+    fold_incremental()
+    one_times, inc_times, ratios = [], [], []
+    for _ in range(repeats):
+        one_seconds, n_one = fold_oneshot()
+        inc_seconds, n_inc = fold_incremental()
+        if n_one != n_inc:
+            raise AssertionError("slice enumeration count mismatch")
+        one_times.append(one_seconds)
+        inc_times.append(inc_seconds)
+        ratios.append(one_seconds / inc_seconds)
+    start = time.process_time()
+    result = rsm_mine(dataset, thresholds)
+    mine_seconds = time.process_time() - start
+    metrics = result.stats.metrics
+    return {
+        "counters": {
+            "rs_slices_mined": metrics.rs_slices_mined,
+            "fcp_patterns": metrics.fcp_patterns,
+            "postprune_checked": metrics.postprune_checked,
+            "n_cubes": len(result),
+        },
+        "oneshot_seconds": min(one_times),
+        "incremental_seconds": min(inc_times),
+        "mine_seconds": mine_seconds,
+        "fold_speedup": statistics.median(ratios),
+    }
+
+
+def measure(kernel: str, repeats: int) -> dict:
+    """All perf series for one kernel."""
+    return {
+        "cubeminer-memoization": _measure_cubeminer(kernel, repeats),
+        "rsm-prefix-fold": _measure_rsm(kernel, repeats),
+    }
+
+
+def make_baseline(repeats: int, kernels: list[str] | None = None) -> dict:
+    """Measure every kernel and build the committed baseline payload.
+
+    The counter sets must agree across kernels (they are functions of
+    the workload, not the backend) — a mismatch is a correctness bug
+    and refuses to produce a baseline.
+    """
+    kernels = kernels or available_kernels()
+    per_kernel = {kernel: measure(kernel, repeats) for kernel in kernels}
+    counters = None
+    for kernel, series in per_kernel.items():
+        observed = {name: data["counters"] for name, data in series.items()}
+        if counters is None:
+            counters = observed
+        elif observed != counters:
+            raise AssertionError(
+                f"work counters differ between kernels ({kernel} deviates); "
+                "refusing to write a baseline over a correctness bug"
+            )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generator": "benchmarks/bench_perf.py",
+        "workloads": {
+            "cubeminer-memoization": {
+                "dataset": "large_synthetic_bench()",
+                "thresholds": list(_CUBEMINER_THRESHOLDS.as_tuple()),
+                "counters": counters["cubeminer-memoization"],
+                "gates": {"memo_speedup_floor": MEMO_SPEEDUP_FLOOR},
+            },
+            "rsm-prefix-fold": {
+                "dataset": "synthetic_heights_bench(12)",
+                "min_h": _RSM_MIN_H,
+                "counters": counters["rsm-prefix-fold"],
+                "gates": {"fold_speedup_floor": FOLD_SPEEDUP_FLOOR},
+            },
+        },
+        "kernels": {
+            kernel: {
+                "cubeminer-memoization": {
+                    "uncached_seconds": round(s["cubeminer-memoization"]["uncached_seconds"], 4),
+                    "cached_seconds": round(s["cubeminer-memoization"]["cached_seconds"], 4),
+                    "memo_speedup": round(s["cubeminer-memoization"]["memo_speedup"], 3),
+                },
+                "rsm-prefix-fold": {
+                    "oneshot_seconds": round(s["rsm-prefix-fold"]["oneshot_seconds"], 4),
+                    "incremental_seconds": round(s["rsm-prefix-fold"]["incremental_seconds"], 4),
+                    "mine_seconds": round(s["rsm-prefix-fold"]["mine_seconds"], 4),
+                    "fold_speedup": round(s["rsm-prefix-fold"]["fold_speedup"], 3),
+                },
+            }
+            for kernel, s in per_kernel.items()
+        },
+    }
+
+
+def check_against_baseline(
+    series: dict, baseline: dict, kernel: str, tolerance: float
+) -> list[str]:
+    """Return the gate failures of one measurement round (empty = pass)."""
+    failures: list[str] = []
+    if baseline.get("schema_version") != SCHEMA_VERSION:
+        return [
+            f"baseline schema_version {baseline.get('schema_version')!r} != "
+            f"{SCHEMA_VERSION}; refresh with --update-baseline"
+        ]
+    slack = 1.0 - tolerance / 100.0
+    kernel_base = baseline.get("kernels", {}).get(kernel, {})
+    for name, data in series.items():
+        workload = baseline["workloads"].get(name)
+        if workload is None:
+            failures.append(f"{name}: missing from baseline; refresh it")
+            continue
+        if data["counters"] != workload["counters"]:
+            failures.append(
+                f"{name}: work counters drifted from baseline "
+                f"(got {data['counters']}, baseline {workload['counters']}); "
+                "an intended algorithm change needs --update-baseline"
+            )
+        for gate_name, floor in workload["gates"].items():
+            ratio_key = gate_name.removesuffix("_floor")
+            measured = data[ratio_key]
+            target = floor
+            baseline_ratio = kernel_base.get(name, {}).get(ratio_key)
+            if baseline_ratio is not None:
+                target = max(target, baseline_ratio * slack)
+            if measured < target:
+                failures.append(
+                    f"{name}: {ratio_key} {measured:.2f}x below gate "
+                    f"{target:.2f}x (floor {floor:g}x, baseline "
+                    f"{baseline_ratio if baseline_ratio is not None else 'n/a'}, "
+                    f"tolerance {tolerance:g}%)"
+                )
+    return failures
+
+
+def _print_series(kernel: str, series: dict) -> None:
+    cm = series["cubeminer-memoization"]
+    rsm = series["rsm-prefix-fold"]
+    print(f"[{kernel}] cubeminer : uncached {cm['uncached_seconds'] * 1e3:8.1f} ms"
+          f" cached {cm['cached_seconds'] * 1e3:8.1f} ms"
+          f" memo speedup {cm['memo_speedup']:.2f}x"
+          f" ({cm['counters']['nodes_visited']} nodes,"
+          f" {cm['counters']['n_cubes']} cubes,"
+          f" {cm['counters']['closure_cache_hits']} cache hits)")
+    print(f"[{kernel}] rsm       : one-shot {rsm['oneshot_seconds'] * 1e3:8.1f} ms"
+          f" incremental {rsm['incremental_seconds'] * 1e3:8.1f} ms"
+          f" fold speedup {rsm['fold_speedup']:.2f}x"
+          f" ({rsm['counters']['rs_slices_mined']} slices,"
+          f" {rsm['counters']['n_cubes']} cubes)")
+
+
+def sweep() -> None:
+    """Standalone report for run_all.py: one measurement per kernel."""
+    for kernel in available_kernels():
+        _print_series(kernel, measure(kernel, repeats=3))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="interleaved measurement pairs per series")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="max measurement rounds for --check; the gate "
+                             "passes as soon as one round passes")
+    parser.add_argument("--kernel", choices=available_kernels(),
+                        default=_default_kernel(),
+                        help="bitset backend to measure (default: numpy "
+                             "when available)")
+    parser.add_argument("--baseline", default="BENCH_perf.json", metavar="PATH",
+                        help="committed baseline file (default BENCH_perf.json)")
+    parser.add_argument("--tolerance", type=float, default=25.0,
+                        help="allowed percent regression of the speedup "
+                             "ratios relative to the baseline ratios")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against --baseline and exit 1 on "
+                             "regression")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="measure every kernel and rewrite --baseline")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write this run's measurements as JSON")
+    args = parser.parse_args(argv)
+
+    if args.update_baseline:
+        payload = make_baseline(args.repeats)
+        with open(args.baseline, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        for kernel in payload["kernels"]:
+            print(f"{kernel}: "
+                  f"memo {payload['kernels'][kernel]['cubeminer-memoization']['memo_speedup']}x, "
+                  f"fold {payload['kernels'][kernel]['rsm-prefix-fold']['fold_speedup']}x")
+        print(f"baseline written to {args.baseline}")
+        return 0
+
+    series = None
+    if args.check:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        rounds = max(1, args.rounds)
+        failures: list[str] = []
+        for attempt in range(1, rounds + 1):
+            series = measure(args.kernel, args.repeats)
+            _print_series(args.kernel, series)
+            failures = check_against_baseline(
+                series, baseline, args.kernel, args.tolerance
+            )
+            if not failures:
+                print(f"perf gates pass on the {args.kernel} kernel")
+                break
+            if attempt < rounds:
+                print(f"round {attempt}/{rounds} failed — re-measuring")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+    else:
+        series = measure(args.kernel, args.repeats)
+        _print_series(args.kernel, series)
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({"kernel": args.kernel, "series": series}, handle, indent=2)
+            handle.write("\n")
+        print(f"json in {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,10 +28,13 @@ import argparse
 import contextlib
 import io
 import json
+import sys
 import time
+import traceback
 from pathlib import Path
 
 import bench_ablation
+import bench_perf
 import bench_robustness
 import bench_fig2_ordering
 import bench_fig3_vary_minc
@@ -51,6 +54,7 @@ MODULES = [
     bench_fig8_large,
     bench_ablation,
     bench_robustness,
+    bench_perf,
 ]
 
 
@@ -84,18 +88,34 @@ def main(
     output_dir: str | None = None,
     write_json: bool = False,
     with_metrics: bool = False,
-) -> None:
+) -> int:
     out_root = Path(output_dir or Path(__file__).parent / "results")
     out_root.mkdir(parents=True, exist_ok=True)
     grand_start = time.perf_counter()
     records: dict[str, dict] = {}
+    failed: list[str] = []
     for module in MODULES:
         name = module.__name__
         print(f"\n### {name} ###")
         start = time.perf_counter()
         buffer = io.StringIO()
-        with contextlib.redirect_stdout(buffer):
-            module.sweep()
+        try:
+            with contextlib.redirect_stdout(buffer):
+                module.sweep()
+        except Exception:
+            # A broken sweep must not hide the remaining figures, but
+            # the run as a whole reports failure (non-zero exit).
+            failed.append(name)
+            text = buffer.getvalue()
+            print(text, end="")
+            print(f"### {name} FAILED ###", file=sys.stderr)
+            traceback.print_exc()
+            records[name] = {
+                "elapsed_seconds": round(time.perf_counter() - start, 3),
+                "table_lines": text.splitlines(),
+                "error": traceback.format_exc().splitlines()[-1],
+            }
+            continue
         text = buffer.getvalue()
         print(text, end="")
         elapsed = time.perf_counter() - start
@@ -117,7 +137,12 @@ def main(
         json_path = out_root / "results.json"
         json_path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"json results in {json_path}")
+    if failed:
+        print(f"\n{len(failed)} sweep(s) FAILED: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
     print(f"\nall sweeps done in {total:.1f}s; tables in {out_root}/")
+    return 0
 
 
 if __name__ == "__main__":
@@ -130,4 +155,4 @@ if __name__ == "__main__":
                         help="add instrumented prune-rule counters to "
                              "results.json (implies --json)")
     args = parser.parse_args()
-    main(args.output_dir, write_json=args.json, with_metrics=args.metrics)
+    sys.exit(main(args.output_dir, write_json=args.json, with_metrics=args.metrics))

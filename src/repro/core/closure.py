@@ -18,11 +18,13 @@ runs on the dataset's kernel backend (:mod:`repro.core.kernels`).
 
 from __future__ import annotations
 
-from .bitset import is_subset
+from .bitset import full_mask, is_subset, iter_bits
 from .cube import Cube
 from .dataset import Dataset3D
 
 __all__ = [
+    "ClosureCache",
+    "resolve_closure_cache",
     "column_support",
     "row_support",
     "height_support",
@@ -31,37 +33,295 @@ __all__ = [
     "close",
 ]
 
+#: Default entry budget for :class:`ClosureCache` — comfortably above the
+#: ``l + n`` witness entries any dataset needs plus the support queries a
+#: typical run issues, so eviction only triggers under an explicit bound.
+DEFAULT_CACHE_ENTRIES = 1 << 16
 
-def column_support(dataset: Dataset3D, heights: int, rows: int) -> int:
+
+class ClosureCache:
+    """Bounded memoization for closure work, keyed on (axis, fingerprint).
+
+    Two families of entries share one entry budget:
+
+    * **Zero-witness entries** — keyed by an axis tag and the atom of one
+      element outside a node.  CubeMiner's closure checks (Lemmas 4-5)
+      ask, per outside element, "does it have a zero inside the node
+      region?".  The exact node regions almost never repeat down the
+      splitting tree, but the *witness* — the grid cell proving the
+      answer was yes — survives nearly every region shrink, so the entry
+      stores the last witness and revalidates it against the current
+      region in O(1) bit operations.  A stale witness is recomputed and
+      replaced (a miss); a missing element (no zero in the region) makes
+      the check fail.
+    * **Support entries** — keyed by an axis tag and the opposing pair of
+      set fingerprints, memoizing the full ``H(R' x C')`` / ``R(H' x
+      C')`` / ``C(H' x R')`` support sets for the closure operators.
+
+    Eviction is FIFO (oldest entry of the family being inserted into),
+    so a bounded cache degrades to recomputation — never to different
+    answers.  ``hits`` / ``misses`` / ``evictions`` counters are folded
+    into :class:`~repro.obs.metrics.MiningMetrics` by the miners.
+
+    A cache binds lazily to the first dataset it serves and rebinds
+    (dropping all entries) when handed a different one, so a run-scoped
+    cache needs no explicit setup.
+    """
+
+    __slots__ = (
+        "max_entries",
+        "hits",
+        "misses",
+        "evictions",
+        "_dataset",
+        "_zeros",
+        "_full_heights",
+        "_full_rows",
+        "_height_witness",
+        "_row_witness",
+        "_supports",
+    )
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._dataset: Dataset3D | None = None
+        self._zeros: list[list[int]] = []
+        self._full_heights = 0
+        self._full_rows = 0
+        self._height_witness: dict[int, int] = {}
+        self._row_witness: dict[int, int] = {}
+        self._supports: dict[tuple, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _bind(self, dataset: Dataset3D) -> None:
+        universe = full_mask(dataset.n_columns)
+        ones = dataset.ones_masks()
+        self._zeros = [
+            [universe & ~mask for mask in per_height] for per_height in ones
+        ]
+        self._full_heights = full_mask(dataset.n_heights)
+        self._full_rows = full_mask(dataset.n_rows)
+        self._height_witness.clear()
+        self._row_witness.clear()
+        self._supports.clear()
+        self._dataset = dataset
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep accumulating)."""
+        self._height_witness.clear()
+        self._row_witness.clear()
+        self._supports.clear()
+
+    def __len__(self) -> int:
+        return (
+            len(self._height_witness)
+            + len(self._row_witness)
+            + len(self._supports)
+        )
+
+    def counters(self) -> tuple[int, int, int]:
+        """Snapshot of ``(hits, misses, evictions)`` — for delta folding."""
+        return (self.hits, self.misses, self.evictions)
+
+    def _make_room(self, target: dict) -> None:
+        """Evict one oldest entry before inserting a new key into ``target``."""
+        if len(self) < self.max_entries:
+            return
+        for entries in (target, self._height_witness, self._row_witness, self._supports):
+            if entries:
+                entries.pop(next(iter(entries)))
+                self.evictions += 1
+                return
+
+    # ------------------------------------------------------------------
+    # Witness-backed closure checks (Lemmas 4-5 / Lemma 1)
+    # ------------------------------------------------------------------
+    def height_set_closed(
+        self, dataset: Dataset3D, heights: int, rows: int, columns: int
+    ) -> bool:
+        """Hcheck: True when no height outside ``heights`` covers R' x C'."""
+        if self._dataset is not dataset:
+            self._bind(dataset)
+        zeros = self._zeros
+        witness = self._height_witness
+        hit = miss = 0
+        closed = True
+        for k in iter_bits(self._full_heights & ~heights):
+            w = witness.get(k)
+            if w is not None and rows >> w & 1 and zeros[k][w] & columns:
+                hit += 1
+                continue
+            miss += 1
+            per_height = zeros[k]
+            for i in iter_bits(rows):
+                if per_height[i] & columns:
+                    if w is None:
+                        self._make_room(witness)
+                    witness[k] = i
+                    break
+            else:
+                # Height k has no zero in R' x C': it supports the node,
+                # so the node can never become height-closed.
+                closed = False
+                break
+        self.hits += hit
+        self.misses += miss
+        return closed
+
+    def row_set_closed(
+        self, dataset: Dataset3D, heights: int, rows: int, columns: int
+    ) -> bool:
+        """Rcheck: True when no row outside ``rows`` covers H' x C'."""
+        if self._dataset is not dataset:
+            self._bind(dataset)
+        zeros = self._zeros
+        witness = self._row_witness
+        hit = miss = 0
+        closed = True
+        for i in iter_bits(self._full_rows & ~rows):
+            w = witness.get(i)
+            if w is not None and heights >> w & 1 and zeros[w][i] & columns:
+                hit += 1
+                continue
+            miss += 1
+            for k in iter_bits(heights):
+                if zeros[k][i] & columns:
+                    if w is None:
+                        self._make_room(witness)
+                    witness[i] = k
+                    break
+            else:
+                closed = False
+                break
+        self.hits += hit
+        self.misses += miss
+        return closed
+
+    # ------------------------------------------------------------------
+    # Memoized support operators
+    # ------------------------------------------------------------------
+    def _memoized(self, dataset: Dataset3D, key: tuple, compute) -> int:
+        if self._dataset is not dataset:
+            self._bind(dataset)
+        supports = self._supports
+        value = supports.get(key)
+        if value is not None:
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = compute()
+        if key not in supports:
+            self._make_room(supports)
+        supports[key] = value
+        return value
+
+    def height_support(self, dataset: Dataset3D, rows: int, columns: int) -> int:
+        return self._memoized(
+            dataset,
+            ("H", rows, columns),
+            lambda: dataset.kernel.grid_supporting_heights(
+                dataset.ones_grid(), rows, columns
+            ),
+        )
+
+    def row_support(self, dataset: Dataset3D, heights: int, columns: int) -> int:
+        return self._memoized(
+            dataset,
+            ("R", heights, columns),
+            lambda: dataset.kernel.grid_supporting_rows(
+                dataset.ones_grid(), heights, columns
+            ),
+        )
+
+    def column_support(self, dataset: Dataset3D, heights: int, rows: int) -> int:
+        return self._memoized(
+            dataset,
+            ("C", heights, rows),
+            lambda: dataset.kernel.grid_fold_and(
+                dataset.ones_grid(), heights, rows, dataset.n_columns
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ClosureCache(entries={len(self)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )
+
+
+def resolve_closure_cache(
+    spec: "ClosureCache | int | None", *, default_entries: int = DEFAULT_CACHE_ENTRIES
+) -> ClosureCache | None:
+    """Normalize a miner's ``closure_cache`` argument.
+
+    ``None`` builds a fresh default cache (memoization is on by
+    default), a positive int bounds a fresh cache to that many entries,
+    ``0`` (or any non-positive int) disables caching, and a
+    :class:`ClosureCache` instance is used as-is (sharing/pre-warming).
+    """
+    if spec is None:
+        return ClosureCache(max_entries=default_entries)
+    if isinstance(spec, ClosureCache):
+        return spec
+    if spec <= 0:
+        return None
+    return ClosureCache(max_entries=spec)
+
+
+def column_support(
+    dataset: Dataset3D, heights: int, rows: int, *, cache: ClosureCache | None = None
+) -> int:
     """Return ``C(R' x H')``: columns that are 1 on every (height, row) pair.
 
     For empty ``heights`` or ``rows`` the intersection runs over an empty
     family and therefore returns the full column universe; callers that
     need a different convention must special-case empty inputs.
     """
+    if cache is not None:
+        return cache.column_support(dataset, heights, rows)
     return dataset.kernel.grid_fold_and(
         dataset.ones_grid(), heights, rows, dataset.n_columns
     )
 
 
-def height_support(dataset: Dataset3D, rows: int, columns: int) -> int:
+def height_support(
+    dataset: Dataset3D, rows: int, columns: int, *, cache: ClosureCache | None = None
+) -> int:
     """Return ``H(R' x C')``: heights whose slices are all-ones on R' x C'."""
+    if cache is not None:
+        return cache.height_support(dataset, rows, columns)
     return dataset.kernel.grid_supporting_heights(dataset.ones_grid(), rows, columns)
 
 
-def row_support(dataset: Dataset3D, heights: int, columns: int) -> int:
+def row_support(
+    dataset: Dataset3D, heights: int, columns: int, *, cache: ClosureCache | None = None
+) -> int:
     """Return ``R(H' x C')``: rows that are all-ones on H' x C'."""
+    if cache is not None:
+        return cache.row_support(dataset, heights, columns)
     return dataset.kernel.grid_supporting_rows(dataset.ones_grid(), heights, columns)
 
 
-def is_all_ones(dataset: Dataset3D, cube: Cube) -> bool:
+def is_all_ones(
+    dataset: Dataset3D, cube: Cube, *, cache: ClosureCache | None = None
+) -> bool:
     """True when every cell covered by ``cube`` holds 1 (a *complete* cube)."""
     return is_subset(
-        cube.columns, column_support(dataset, cube.heights, cube.rows)
+        cube.columns, column_support(dataset, cube.heights, cube.rows, cache=cache)
     )
 
 
-def is_closed_cube(dataset: Dataset3D, cube: Cube) -> bool:
+def is_closed_cube(
+    dataset: Dataset3D, cube: Cube, *, cache: ClosureCache | None = None
+) -> bool:
     """Definition 3.2: the cube is complete and maximal in all three axes.
 
     Empty cubes are never closed here: the paper's support thresholds are
@@ -70,33 +330,41 @@ def is_closed_cube(dataset: Dataset3D, cube: Cube) -> bool:
     """
     if cube.is_empty():
         return False
-    if not is_all_ones(dataset, cube):
+    if not is_all_ones(dataset, cube, cache=cache):
         return False
     return (
-        cube.heights == height_support(dataset, cube.rows, cube.columns)
-        and cube.rows == row_support(dataset, cube.heights, cube.columns)
-        and cube.columns == column_support(dataset, cube.heights, cube.rows)
+        cube.heights == height_support(dataset, cube.rows, cube.columns, cache=cache)
+        and cube.rows == row_support(dataset, cube.heights, cube.columns, cache=cache)
+        and cube.columns == column_support(dataset, cube.heights, cube.rows, cache=cache)
     )
 
 
-def close(dataset: Dataset3D, cube: Cube, max_iterations: int = 64) -> Cube:
+def close(
+    dataset: Dataset3D,
+    cube: Cube,
+    max_iterations: int = 64,
+    *,
+    cache: ClosureCache | None = None,
+) -> Cube:
     """Grow ``cube`` to a fixpoint of the three support operators.
 
     The input must be complete (all ones); the result is then a closed
     cube containing it.  Each pass recomputes the three support sets from
     the current pair of the other two axes; the sets only ever grow, so
     the loop terminates.  ``max_iterations`` is a safety valve against
-    implementation bugs, not a tuning knob.
+    implementation bugs, not a tuning knob.  ``cache`` memoizes the
+    support queries — repeated closures over one dataset (e.g. RSM's
+    Lemma-1 phase, result auditing) reuse each other's work.
     """
     if cube.is_empty():
         raise ValueError("cannot close an empty cube")
-    if not is_all_ones(dataset, cube):
+    if not is_all_ones(dataset, cube, cache=cache):
         raise ValueError("cannot close a cube that covers zero cells")
     heights, rows, columns = cube.heights, cube.rows, cube.columns
     for _ in range(max_iterations):
-        new_heights = height_support(dataset, rows, columns)
-        new_rows = row_support(dataset, new_heights, columns)
-        new_columns = column_support(dataset, new_heights, new_rows)
+        new_heights = height_support(dataset, rows, columns, cache=cache)
+        new_rows = row_support(dataset, new_heights, columns, cache=cache)
+        new_columns = column_support(dataset, new_heights, new_rows, cache=cache)
         if (new_heights, new_rows, new_columns) == (heights, rows, columns):
             return Cube(heights, rows, columns)
         heights, rows, columns = new_heights, new_rows, new_columns

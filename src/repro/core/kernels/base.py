@@ -82,6 +82,61 @@ class Kernel(ABC):
         """Index bitmask of the packed masks that contain ``sub``."""
 
     # ------------------------------------------------------------------
+    # Batched primitives (concrete defaults; subclasses may vectorize)
+    # ------------------------------------------------------------------
+    def and_many(self, handle_a: Any, handle_b: Any, n_bits: int) -> Any:
+        """Elementwise AND of two equal-length mask arrays, as a handle.
+
+        The workhorse of incremental representative-slice folding: one
+        call extends a partial fold by one height slice without
+        unpacking to Python ints.  The generic path does round-trip;
+        both shipped backends override it.
+        """
+        masks_a = self.unpack_masks(handle_a)
+        masks_b = self.unpack_masks(handle_b)
+        if len(masks_a) != len(masks_b):
+            raise ValueError(
+                f"and_many needs equal-length mask arrays, "
+                f"got {len(masks_a)} and {len(masks_b)}"
+            )
+        return self.pack_masks(
+            [a & b for a, b in zip(masks_a, masks_b)], n_bits
+        )
+
+    def popcount_many(self, masks: Sequence[int], n_bits: int) -> list[int]:
+        """Set sizes of raw int masks, without a packing round-trip.
+
+        Complements :meth:`popcounts` (which needs a pre-packed handle)
+        for one-shot batches where building a handle would cost more
+        than the count itself.
+        """
+        return [mask.bit_count() for mask in masks]
+
+    def intersect_rows(self, grid: Any, heights: int, n_bits: int) -> Any:
+        """Per-row AND over the selected heights, as a mask-array handle.
+
+        The handle-returning sibling of :meth:`grid_fold_rows`: RSM's
+        representative-slice construction feeds the result straight
+        into a :class:`~repro.fcp.matrix.BinaryMatrix` without an
+        int round-trip on backends whose handles are not int lists.
+        An empty selection yields full-universe masks.
+        """
+        return self.pack_masks(
+            self.grid_fold_rows(grid, heights, n_bits), n_bits
+        )
+
+    def grid_slice_rows(self, grid: Any, height: int, n_bits: int) -> Any:
+        """One height slice of the grid as a mask-array handle.
+
+        Seeds the incremental fold of :meth:`intersect_rows` /
+        :meth:`and_many` chains.  The generic path goes through
+        :meth:`grid_fold_rows` with a singleton selection.
+        """
+        return self.pack_masks(
+            self.grid_fold_rows(grid, 1 << height, n_bits), n_bits
+        )
+
+    # ------------------------------------------------------------------
     # Dataset grids (l heights x n rows of column masks)
     # ------------------------------------------------------------------
     @abstractmethod

@@ -102,6 +102,35 @@ class NumpyKernel(Kernel):
         return _mask_from_bools(ok)
 
     # ------------------------------------------------------------------
+    # Batched primitives
+    # ------------------------------------------------------------------
+    def and_many(self, handle_a: np.ndarray, handle_b: np.ndarray, n_bits: int) -> np.ndarray:
+        if handle_a.shape != handle_b.shape:
+            raise ValueError(
+                f"and_many needs equal-shape mask arrays, "
+                f"got {handle_a.shape} and {handle_b.shape}"
+            )
+        return handle_a & handle_b
+
+    def popcount_many(self, masks: Sequence[int], n_bits: int) -> list[int]:
+        if not masks:
+            return []
+        return np.bitwise_count(self.pack_masks(masks, n_bits)).sum(
+            axis=1, dtype=np.int64
+        ).tolist()
+
+    def intersect_rows(self, grid: np.ndarray, heights: int, n_bits: int) -> np.ndarray:
+        l, n, words = grid.shape
+        if heights == 0:
+            full = np.empty((n, words), dtype=_WORD_DTYPE)
+            full[:] = _pack_int(full_mask(n_bits), words)
+            return full
+        return np.bitwise_and.reduce(grid[_select_bools(heights, l)], axis=0)
+
+    def grid_slice_rows(self, grid: np.ndarray, height: int, n_bits: int) -> np.ndarray:
+        return grid[height]
+
+    # ------------------------------------------------------------------
     # Grids
     # ------------------------------------------------------------------
     def pack_grid(self, masks: Sequence[Sequence[int]], n_bits: int) -> np.ndarray:

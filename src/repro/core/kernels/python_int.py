@@ -67,6 +67,24 @@ class PythonIntKernel(Kernel):
         return result
 
     # ------------------------------------------------------------------
+    # Batched primitives
+    # ------------------------------------------------------------------
+    def and_many(self, handle_a: list[int], handle_b: list[int], n_bits: int) -> list[int]:
+        if len(handle_a) != len(handle_b):
+            raise ValueError(
+                f"and_many needs equal-length mask arrays, "
+                f"got {len(handle_a)} and {len(handle_b)}"
+            )
+        return [a & b for a, b in zip(handle_a, handle_b)]
+
+    def intersect_rows(self, grid: list[list[int]], heights: int, n_bits: int) -> list[int]:
+        # grid_fold_rows already returns a fresh int list — the handle.
+        return self.grid_fold_rows(grid, heights, n_bits)
+
+    def grid_slice_rows(self, grid: list[list[int]], height: int, n_bits: int) -> list[int]:
+        return list(grid[height])
+
+    # ------------------------------------------------------------------
     # Grids
     # ------------------------------------------------------------------
     def pack_grid(self, masks: Sequence[Sequence[int]], n_bits: int) -> list[list[int]]:

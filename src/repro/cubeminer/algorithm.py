@@ -32,8 +32,10 @@ the partial result attached.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 
 from ..core.bitset import bit_count, full_mask
+from ..core.closure import ClosureCache, resolve_closure_cache
 from ..core.constraints import Thresholds
 from ..core.cube import Cube
 from ..core.dataset import Dataset3D
@@ -50,7 +52,7 @@ from ..obs import (
     resolve_progress,
 )
 from .checks import height_set_closed, row_set_closed
-from .cutter import Cutter, HeightOrder, build_cutters
+from .cutter import Cutter, CutterIndex, HeightOrder, build_cutters
 
 __all__ = ["CubeMinerStats", "cubeminer_mine", "CubeMiner"]
 
@@ -66,9 +68,10 @@ def cubeminer_mine(
     *,
     order: HeightOrder = HeightOrder.ZERO_DECREASING,
     cutters: list[Cutter] | None = None,
+    closure_cache: "ClosureCache | int | None" = None,
     metrics: MiningMetrics | None = None,
     on_event: EventSink | None = None,
-    progress: "ProgressController | callable | None" = None,
+    progress: "ProgressController | Callable | None" = None,
     deadline: float | None = None,
 ) -> MiningResult:
     """Mine all frequent closed cubes of ``dataset`` with CubeMiner.
@@ -85,6 +88,14 @@ def cubeminer_mine(
     cutters:
         Pre-built cutter list (overrides ``order``); used by the parallel
         driver and by tests that pin a specific Z.
+    closure_cache:
+        Closure-memoization control: ``None`` (default) runs with a
+        fresh :class:`~repro.core.closure.ClosureCache`, ``0`` disables
+        memoization, a positive int bounds a fresh cache to that many
+        entries, and a ``ClosureCache`` instance is reused as-is.  The
+        cache never changes the mined cubes — only how fast the Lemma
+        4-5 checks run; its hit/miss/eviction tallies land in the run's
+        metrics (``closure_cache_hits`` etc.).
     metrics:
         Counter set to accumulate into (a fresh one per run by default);
         pass a shared instance to observe the run in flight or to tally
@@ -130,6 +141,7 @@ def cubeminer_mine(
                 cutters,
                 [(root, 0, 0, 0)],
                 stats,
+                closure_cache=resolve_closure_cache(closure_cache),
                 sink=on_event,
                 progress=controller,
             )
@@ -169,6 +181,7 @@ def _run(
     stack: list[tuple[tuple[int, int, int], int, int, int]],
     stats: MiningMetrics,
     *,
+    closure_cache: ClosureCache | None = None,
     sink: EventSink | None = None,
     progress: ProgressController | None = None,
 ) -> tuple[list[Cube], MiningMetrics]:
@@ -177,19 +190,17 @@ def _run(
     Exposed separately so the parallel driver can seed the stack with a
     single branch of the tree and replay exactly the sequential search.
     On cancellation the raised ``MiningCancelled`` carries the cubes
-    found so far in ``partial_cubes``.
+    found so far in ``partial_cubes``.  ``closure_cache`` memoizes the
+    Lemma 4-5 closure checks (``None`` recomputes every check); its
+    counter deltas are folded into ``stats`` even on cancellation.
     """
     min_h, min_r, min_c = thresholds.as_tuple()
     min_volume = thresholds.min_volume
     n_cutters = len(cutters)
-    kernel = dataset.kernel
-    cutter_handle = kernel.pack_cutters(
-        [cutter.height for cutter in cutters],
-        [cutter.row for cutter in cutters],
-        [cutter.columns for cutter in cutters],
-        dataset.shape,
-    )
-    first_applicable = kernel.first_applicable_cutter
+    cutter_index = CutterIndex(cutters)
+    first_applicable = cutter_index.first_applicable
+    cache = closure_cache
+    cache_base = cache.counters() if cache is not None else None
     check_every = progress.check_every if progress is not None else 0
     found: list[Cube] = []
     push = stack.append
@@ -209,7 +220,7 @@ def _run(
                     stats, phase="cubeminer", done=stats.nodes_visited
                 )
             # Skip cutters that do not intersect this node (Algorithm 2, line 6).
-            index = first_applicable(cutter_handle, heights, rows, columns, index)
+            index = first_applicable(heights, rows, columns, index)
             if index == n_cutters:
                 # Survived every cutter: all-ones, closed, frequent (Theorem 2).
                 stats.leaves_emitted += 1
@@ -244,7 +255,7 @@ def _run(
                 stats.pruned_left_track += 1
                 if sink is not None:
                     sink(prune_event(("left", "pruned_left_track", son_heights, rows, columns)))
-            elif not row_set_closed(dataset, son_heights, rows, columns):
+            elif not row_set_closed(dataset, son_heights, rows, columns, cache=cache):
                 stats.kernel_ops += 1
                 stats.pruned_row_unclosed += 1
                 if sink is not None:
@@ -268,7 +279,7 @@ def _run(
                 stats.pruned_middle_track += 1
                 if sink is not None:
                     sink(prune_event(("middle", "pruned_middle_track", heights, son_rows, columns)))
-            elif not height_set_closed(dataset, heights, son_rows, columns):
+            elif not height_set_closed(dataset, heights, son_rows, columns, cache=cache):
                 stats.kernel_ops += 1
                 stats.pruned_height_unclosed += 1
                 if sink is not None:
@@ -291,12 +302,12 @@ def _run(
                 stats.pruned_min_volume += 1
                 if sink is not None:
                     sink(prune_event(("right", "pruned_min_volume", heights, rows, son_columns)))
-            elif not height_set_closed(dataset, heights, rows, son_columns):
+            elif not height_set_closed(dataset, heights, rows, son_columns, cache=cache):
                 stats.kernel_ops += 1
                 stats.pruned_height_unclosed += 1
                 if sink is not None:
                     sink(prune_event(("right", "pruned_height_unclosed", heights, rows, son_columns)))
-            elif not row_set_closed(dataset, heights, rows, son_columns):
+            elif not row_set_closed(dataset, heights, rows, son_columns, cache=cache):
                 stats.kernel_ops += 2
                 stats.pruned_row_unclosed += 1
                 if sink is not None:
@@ -316,6 +327,12 @@ def _run(
         exc.partial_cubes = found
         exc.metrics = stats
         raise
+    finally:
+        if cache is not None:
+            hits0, misses0, evictions0 = cache_base
+            stats.closure_cache_hits += cache.hits - hits0
+            stats.closure_cache_misses += cache.misses - misses0
+            stats.closure_cache_evictions += cache.evictions - evictions0
     return found, stats
 
 

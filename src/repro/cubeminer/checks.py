@@ -11,18 +11,35 @@ absent row (Lemma 5).
 ``R' x C'``", so both lemmas are one kernel support sweep restricted to
 the elements outside the node: the node is closed iff no outside
 candidate supports it.
+
+With a :class:`~repro.core.closure.ClosureCache` the sweep is replaced
+by the cache's zero-witness fast path: each outside element's last
+known zero location is revalidated against the current node in O(1)
+bit operations and only stale witnesses fall back to a rescan.  The
+answers are identical either way — the differential suite pins the two
+paths against each other.
 """
 
 from __future__ import annotations
 
 from ..core.bitset import full_mask
+from ..core.closure import ClosureCache
 from ..core.dataset import Dataset3D
 
 __all__ = ["height_set_closed", "row_set_closed"]
 
 
-def height_set_closed(dataset: Dataset3D, heights: int, rows: int, columns: int) -> bool:
+def height_set_closed(
+    dataset: Dataset3D,
+    heights: int,
+    rows: int,
+    columns: int,
+    *,
+    cache: ClosureCache | None = None,
+) -> bool:
     """Lemma 4 (Hcheck): False when some absent height covers R' x C'."""
+    if cache is not None:
+        return cache.height_set_closed(dataset, heights, rows, columns)
     outside = full_mask(dataset.n_heights) & ~heights
     return (
         dataset.kernel.grid_supporting_heights(
@@ -32,8 +49,17 @@ def height_set_closed(dataset: Dataset3D, heights: int, rows: int, columns: int)
     )
 
 
-def row_set_closed(dataset: Dataset3D, heights: int, rows: int, columns: int) -> bool:
+def row_set_closed(
+    dataset: Dataset3D,
+    heights: int,
+    rows: int,
+    columns: int,
+    *,
+    cache: ClosureCache | None = None,
+) -> bool:
     """Lemma 5 (Rcheck): False when some absent row covers H' x C'."""
+    if cache is not None:
+        return cache.row_set_closed(dataset, heights, rows, columns)
     outside = full_mask(dataset.n_rows) & ~rows
     return (
         dataset.kernel.grid_supporting_rows(

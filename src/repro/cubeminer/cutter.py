@@ -21,7 +21,13 @@ from dataclasses import dataclass
 from ..core.bitset import bit_count, indices
 from ..core.dataset import Dataset3D
 
-__all__ = ["Cutter", "HeightOrder", "height_permutation", "build_cutters"]
+__all__ = [
+    "Cutter",
+    "CutterIndex",
+    "HeightOrder",
+    "height_permutation",
+    "build_cutters",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -102,3 +108,80 @@ def build_cutters(
 def total_zero_cells(cutters: list[Cutter]) -> int:
     """Sum of zero cells covered by the cutter set (sanity-check helper)."""
     return sum(bit_count(cutter.columns) for cutter in cutters)
+
+
+class CutterIndex:
+    """Grouped index over a cutter list for the per-node applicability scan.
+
+    :func:`build_cutters` emits Z sorted by the height permutation and,
+    within one height, by ascending row — so each height's cutters form
+    one contiguous run of the list.  The index records those runs once
+    (start offsets, the run's height, and the bitmask of its rows), and
+    :meth:`first_applicable` walks runs instead of individual cutters: a
+    run whose height left the node, or none of whose rows remain in the
+    node, is skipped with two bit tests regardless of how many cutters
+    it holds.  Within a surviving run only the row and column atoms need
+    testing (the height is shared).
+
+    Arbitrary cutter lists (tests pin hand-built Z's) are handled too:
+    runs are detected as maximal stretches of equal height, so a height
+    split across several stretches simply produces several groups.
+    """
+
+    __slots__ = (
+        "n_cutters",
+        "_rows",
+        "_columns",
+        "_bounds",
+        "_group_heights",
+        "_group_rowmasks",
+        "_group_of",
+    )
+
+    def __init__(self, cutters: list[Cutter]) -> None:
+        self.n_cutters = len(cutters)
+        self._rows = tuple(cutter.row for cutter in cutters)
+        self._columns = tuple(cutter.columns for cutter in cutters)
+        bounds: list[int] = []
+        group_heights: list[int] = []
+        group_rowmasks: list[int] = []
+        group_of: list[int] = []
+        for index, cutter in enumerate(cutters):
+            if not group_heights or cutter.height != group_heights[-1]:
+                bounds.append(index)
+                group_heights.append(cutter.height)
+                group_rowmasks.append(0)
+            group_rowmasks[-1] |= 1 << cutter.row
+            group_of.append(len(group_heights) - 1)
+        bounds.append(self.n_cutters)
+        group_of.append(len(group_heights))  # sentinel for start == n_cutters
+        self._bounds = tuple(bounds)
+        self._group_heights = tuple(group_heights)
+        self._group_rowmasks = tuple(group_rowmasks)
+        self._group_of = tuple(group_of)
+
+    def first_applicable(
+        self, heights: int, rows: int, columns: int, start: int
+    ) -> int:
+        """First index >= ``start`` whose cutter intersects the node, or
+        ``n_cutters`` when none does (Algorithm 2, line 6)."""
+        n_cutters = self.n_cutters
+        if start >= n_cutters:
+            return n_cutters
+        cutter_rows = self._rows
+        cutter_columns = self._columns
+        bounds = self._bounds
+        group_heights = self._group_heights
+        group_rowmasks = self._group_rowmasks
+        n_groups = len(group_heights)
+        group = self._group_of[start]
+        low = start
+        while group < n_groups:
+            high = bounds[group + 1]
+            if heights >> group_heights[group] & 1 and rows & group_rowmasks[group]:
+                for index in range(low, high):
+                    if rows >> cutter_rows[index] & 1 and columns & cutter_columns[index]:
+                        return index
+            low = high
+            group += 1
+        return n_cutters

@@ -29,7 +29,7 @@ class BinaryMatrix:
     hashing ignore it.
     """
 
-    __slots__ = ("_row_masks", "_n_columns", "_column_rows", "_kernel_spec", "_kernel", "_packed_rows")
+    __slots__ = ("_row_masks", "_n_rows", "_n_columns", "_column_rows", "_kernel_spec", "_kernel", "_packed_rows")
 
     def __init__(
         self,
@@ -45,7 +45,8 @@ class BinaryMatrix:
                 raise ValueError(
                     f"row {i} mask {mask:#x} has bits outside {n_columns} columns"
                 )
-        self._row_masks = masks
+        self._row_masks: list[int] | None = masks
+        self._n_rows = len(masks)
         self._n_columns = n_columns
         self._column_rows: list[int] | None = None
         self._kernel_spec = kernel
@@ -65,6 +66,35 @@ class BinaryMatrix:
     ) -> "BinaryMatrix":
         """Build from per-row column bitmasks (no copy semantics promised)."""
         return cls(row_masks, n_columns, kernel=kernel)
+
+    @classmethod
+    def from_packed(
+        cls,
+        handle,
+        n_columns: int,
+        *,
+        kernel: str | Kernel,
+    ) -> "BinaryMatrix":
+        """Build from a kernel-native mask-array handle without unpacking.
+
+        The hot-path constructor for representative slices: the handle
+        (e.g. :meth:`repro.core.kernels.Kernel.intersect_rows` output)
+        becomes the matrix's ``packed_rows()`` directly, and the plain
+        int row masks materialize lazily only if a caller needs them.
+        The handle must belong to ``kernel`` and carry only bits inside
+        the ``n_columns`` universe — both hold for handles produced by
+        that kernel's own grid operations, which is why this path skips
+        the per-row validation of the public constructor.
+        """
+        matrix = cls.__new__(cls)
+        matrix._row_masks = None
+        matrix._n_rows = len(handle)
+        matrix._n_columns = n_columns
+        matrix._column_rows = None
+        matrix._kernel_spec = kernel
+        matrix._kernel = None
+        matrix._packed_rows = handle
+        return matrix
 
     @classmethod
     def from_array(cls, array, *, kernel: str | Kernel | None = None) -> "BinaryMatrix":
@@ -98,12 +128,18 @@ class BinaryMatrix:
             )
         return self._packed_rows
 
+    def _masks(self) -> list[int]:
+        """The int row masks, materialized from the handle if needed."""
+        if self._row_masks is None:
+            self._row_masks = self.kernel.unpack_masks(self._packed_rows)
+        return self._row_masks
+
     # ------------------------------------------------------------------
     # Shape / access
     # ------------------------------------------------------------------
     @property
     def n_rows(self) -> int:
-        return len(self._row_masks)
+        return self._n_rows
 
     @property
     def n_columns(self) -> int:
@@ -111,22 +147,22 @@ class BinaryMatrix:
 
     @property
     def shape(self) -> tuple[int, int]:
-        return (len(self._row_masks), self._n_columns)
+        return (self._n_rows, self._n_columns)
 
     def row_mask(self, i: int) -> int:
         """Column bitmask of the one-cells in row ``i``."""
-        return self._row_masks[i]
+        return self._masks()[i]
 
     def row_masks(self) -> list[int]:
         """All row masks (a fresh list; the matrix stays immutable)."""
-        return list(self._row_masks)
+        return list(self._masks())
 
     def zeros_mask(self, i: int) -> int:
         """Column bitmask of the zero-cells in row ``i``."""
-        return full_mask(self._n_columns) & ~self._row_masks[i]
+        return full_mask(self._n_columns) & ~self._masks()[i]
 
     def cell(self, i: int, j: int) -> bool:
-        return bool(self._row_masks[i] >> j & 1)
+        return bool(self._masks()[i] >> j & 1)
 
     def column_rows(self, j: int) -> int:
         """Row bitmask of the one-cells in column ``j`` (the tidset).
@@ -136,7 +172,7 @@ class BinaryMatrix:
         """
         if self._column_rows is None:
             cols = [0] * self._n_columns
-            for i, mask in enumerate(self._row_masks):
+            for i, mask in enumerate(self._masks()):
                 row_bit = 1 << i
                 remaining = mask
                 while remaining:
@@ -169,7 +205,7 @@ class BinaryMatrix:
     def to_array(self) -> np.ndarray:
         """Expand back to a boolean numpy array."""
         out = np.zeros(self.shape, dtype=bool)
-        for i, mask in enumerate(self._row_masks):
+        for i, mask in enumerate(self._masks()):
             for j in indices(mask):
                 out[i, j] = True
         return out
@@ -180,13 +216,14 @@ class BinaryMatrix:
     def __getstate__(self) -> dict:
         spec = self._kernel_spec
         return {
-            "row_masks": self._row_masks,
+            "row_masks": self._masks(),
             "n_columns": self._n_columns,
             "kernel": spec.name if isinstance(spec, Kernel) else spec,
         }
 
     def __setstate__(self, state: dict) -> None:
         self._row_masks = state["row_masks"]
+        self._n_rows = len(state["row_masks"])
         self._n_columns = state["n_columns"]
         self._column_rows = None
         self._kernel_spec = state.get("kernel")
@@ -198,11 +235,11 @@ class BinaryMatrix:
             return NotImplemented
         return (
             self._n_columns == other._n_columns
-            and self._row_masks == other._row_masks
+            and self._masks() == other._masks()
         )
 
     def __hash__(self) -> int:
-        return hash((self._n_columns, tuple(self._row_masks)))
+        return hash((self._n_columns, tuple(self._masks())))
 
     def __repr__(self) -> str:
         return f"BinaryMatrix(shape={self.shape}, density={self.density:.3f})"

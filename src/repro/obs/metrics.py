@@ -74,6 +74,10 @@ class MiningMetrics:
     # -- substrate / parallel ------------------------------------------
     kernel_ops: int = 0
     workers_merged: int = 0
+    # -- closure-memoization cache (repro.core.closure.ClosureCache) ---
+    closure_cache_hits: int = 0
+    closure_cache_misses: int = 0
+    closure_cache_evictions: int = 0
 
     # ------------------------------------------------------------------
     # Views

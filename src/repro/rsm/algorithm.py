@@ -28,8 +28,9 @@ progress/cancellation checkpoint after every slice.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
+from math import comb
 
-from ..core.bitset import bit_count
 from ..core.constraints import Thresholds
 from ..core.cube import Cube
 from ..core.dataset import Dataset3D
@@ -48,7 +49,7 @@ from ..obs import (
     resolve_progress,
 )
 from .postprune import PostPruneStats, height_closed_in
-from .slices import count_height_subsets, enumerate_height_subsets, representative_slice
+from .slices import count_height_subsets, iter_size_slices
 
 __all__ = ["rsm_mine", "RSMMiner", "resolve_base_axis"]
 
@@ -80,7 +81,7 @@ def rsm_mine(
     fcp_miner: str | FCPMiner = "dminer",
     metrics: MiningMetrics | None = None,
     on_event: EventSink | None = None,
-    progress: "ProgressController | callable | None" = None,
+    progress: "ProgressController | Callable | None" = None,
     deadline: float | None = None,
 ) -> MiningResult:
     """Mine all frequent closed cubes of ``dataset`` with RSM.
@@ -195,48 +196,50 @@ def _mine_base_height(
     cubes: list[Cube] = []
     try:
         if thresholds.feasible_for_shape(dataset.shape):
-            total = count_height_subsets(dataset.n_heights, min_h)
+            n_heights = dataset.n_heights
+            total = count_height_subsets(n_heights, min_h)
             slice_cells = dataset.n_rows * dataset.n_columns
             n_enumerated = 0
-            for heights in enumerate_height_subsets(dataset.n_heights, min_h):
-                n_enumerated += 1
-                size = bit_count(heights)
+            for size in range(min_h, n_heights + 1):
                 if size * slice_cells < min_volume:
-                    # No pattern of this slice can reach the volume floor.
+                    # No slice of this size can reach the volume floor:
+                    # skip the whole size without enumerating it.
+                    n_enumerated += comb(n_heights, size)
                     continue
-                metrics.rs_slices_mined += 1
-                metrics.kernel_ops += 1
-                rs = representative_slice(dataset, heights)
-                patterns = miner.mine(rs, min_rows=min_r, min_columns=min_c)
-                metrics.fcp_patterns += len(patterns)
-                n_kept = 0
-                for pattern in patterns:
-                    if size * pattern.row_support * pattern.column_support < min_volume:
-                        continue
-                    kept = height_closed_in(
-                        dataset, heights, pattern.rows, pattern.columns,
-                        metrics=metrics,
-                    )
-                    prune.record(kept)
-                    if kept:
-                        n_kept += 1
-                        cubes.append(Cube(heights, pattern.rows, pattern.columns))
-                    elif sink is not None:
-                        sink(
-                            PruneEvent(
-                                "postprune",
-                                "postprune_discards",
-                                heights,
-                                pattern.rows,
-                                pattern.columns,
-                            )
+                for heights, rs in iter_size_slices(dataset, size):
+                    n_enumerated += 1
+                    metrics.rs_slices_mined += 1
+                    metrics.kernel_ops += 1
+                    patterns = miner.mine(rs, min_rows=min_r, min_columns=min_c)
+                    metrics.fcp_patterns += len(patterns)
+                    n_kept = 0
+                    for pattern in patterns:
+                        if size * pattern.row_support * pattern.column_support < min_volume:
+                            continue
+                        kept = height_closed_in(
+                            dataset, heights, pattern.rows, pattern.columns,
+                            metrics=metrics,
                         )
-                if sink is not None:
-                    sink(SliceEvent(heights, len(patterns), n_kept))
-                if progress is not None:
-                    progress.checkpoint(
-                        metrics, phase="rsm", done=n_enumerated, total=total
-                    )
+                        prune.record(kept)
+                        if kept:
+                            n_kept += 1
+                            cubes.append(Cube(heights, pattern.rows, pattern.columns))
+                        elif sink is not None:
+                            sink(
+                                PruneEvent(
+                                    "postprune",
+                                    "postprune_discards",
+                                    heights,
+                                    pattern.rows,
+                                    pattern.columns,
+                                )
+                            )
+                    if sink is not None:
+                        sink(SliceEvent(heights, len(patterns), n_kept))
+                    if progress is not None:
+                        progress.checkpoint(
+                            metrics, phase="rsm", done=n_enumerated, total=total
+                        )
     except MiningCancelled as exc:
         exc.partial_cubes = cubes
         exc.metrics = metrics

@@ -22,6 +22,7 @@ __all__ = [
     "count_height_subsets",
     "representative_slice",
     "iter_representative_slices",
+    "iter_size_slices",
 ]
 
 
@@ -52,17 +53,20 @@ def count_height_subsets(n_heights: int, min_h: int) -> int:
 def representative_slice(dataset: Dataset3D, heights: int) -> BinaryMatrix:
     """AND the height slices of ``heights`` into one representative slice.
 
-    The fold runs on the dataset's kernel backend (one batched AND over
-    the selected slices of the mask grid), and the resulting matrix
-    inherits that kernel for its own support operations.
+    The fold runs on the dataset's kernel backend (one batched
+    :meth:`~repro.core.kernels.Kernel.intersect_rows` over the selected
+    slices of the mask grid), stays in the kernel's native
+    representation (:meth:`BinaryMatrix.from_packed`), and the
+    resulting matrix inherits that kernel for its own support
+    operations.
     """
     if heights == 0:
         raise ValueError("a representative slice needs at least one height")
-    masks = dataset.kernel.grid_fold_rows(
+    handle = dataset.kernel.intersect_rows(
         dataset.ones_grid(), heights, dataset.n_columns
     )
-    return BinaryMatrix.from_row_masks(
-        masks, dataset.n_columns, kernel=dataset.kernel
+    return BinaryMatrix.from_packed(
+        handle, dataset.n_columns, kernel=dataset.kernel
     )
 
 
@@ -72,3 +76,51 @@ def iter_representative_slices(
     """Yield ``(heights_mask, representative_slice)`` for every subset."""
     for heights in enumerate_height_subsets(dataset.n_heights, min_h):
         yield heights, representative_slice(dataset, heights)
+
+
+def iter_size_slices(
+    dataset: Dataset3D, size: int
+) -> Iterator[tuple[int, BinaryMatrix]]:
+    """Yield every size-``size`` subset with its representative slice.
+
+    Subsets come in the same ascending-member lexicographic order as
+    ``itertools.combinations``, so interleaving the per-size calls
+    reproduces :func:`iter_representative_slices` exactly.  Unlike the
+    one-shot fold, consecutive subsets share their partial AND results:
+    advancing the combination at position ``p`` reuses the fold of the
+    first ``p`` members and extends it with one
+    :meth:`~repro.core.kernels.Kernel.and_many` per changed position —
+    amortized ~1 batched AND per subset instead of ``size - 1``.
+    """
+    l = dataset.n_heights
+    if size < 1 or size > l:
+        return
+    kernel = dataset.kernel
+    grid = dataset.ones_grid()
+    m = dataset.n_columns
+    slice_handles: list = [None] * l
+
+    def slice_of(k: int):
+        handle = slice_handles[k]
+        if handle is None:
+            handle = kernel.grid_slice_rows(grid, k, m)
+            slice_handles[k] = handle
+        return handle
+
+    combo = list(range(size))
+    folds: list = [None] * size  # folds[d] = AND of slices combo[0..d]
+    rebuild_from = 0
+    while True:
+        for d in range(rebuild_from, size):
+            member = slice_of(combo[d])
+            folds[d] = member if d == 0 else kernel.and_many(folds[d - 1], member, m)
+        yield mask_of(combo), BinaryMatrix.from_packed(folds[size - 1], m, kernel=kernel)
+        position = size - 1
+        while position >= 0 and combo[position] == l - size + position:
+            position -= 1
+        if position < 0:
+            return
+        combo[position] += 1
+        for q in range(position + 1, size):
+            combo[q] = combo[q - 1] + 1
+        rebuild_from = position

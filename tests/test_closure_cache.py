@@ -1,0 +1,209 @@
+"""Correctness of the bounded closure-memoization cache.
+
+The cache must be semantically invisible: every witness-backed closure
+check and memoized support query agrees with the fresh computation on
+arbitrary datasets and query sequences (hypothesis drives both), a
+bounded cache under heavy eviction still yields the bit-identical mined
+result, and the miner's cached/uncached paths produce the same cube
+list, node counts and leaves on a seeded grid.  The cache counters must
+surface through ``MiningResult.stats``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.closure import (
+    ClosureCache,
+    close,
+    column_support,
+    height_support,
+    is_closed_cube,
+    resolve_closure_cache,
+    row_support,
+)
+from repro.core.constraints import Thresholds
+from repro.core.cube import Cube
+from repro.core.dataset import Dataset3D
+from repro.core.kernels import available_kernels
+from repro.cubeminer.algorithm import cubeminer_mine
+from repro.cubeminer.checks import height_set_closed, row_set_closed
+from repro.datasets import paper_example, random_tensor
+
+KERNELS = list(available_kernels())
+
+
+@st.composite
+def datasets_and_queries(draw):
+    """A small random dataset plus a batch of random region queries."""
+    l = draw(st.integers(min_value=1, max_value=4))
+    n = draw(st.integers(min_value=1, max_value=5))
+    m = draw(st.sampled_from([3, 8, 70]))
+    density = draw(st.sampled_from([0.2, 0.5, 0.8]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    queries = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << l) - 1),
+                st.integers(min_value=0, max_value=(1 << n) - 1),
+                st.integers(min_value=0, max_value=(1 << m) - 1),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    return (l, n, m), density, seed, queries
+
+
+@settings(max_examples=60, deadline=None)
+@given(datasets_and_queries())
+def test_cached_queries_match_fresh_computation(case):
+    """Memoized closure work == fresh work over arbitrary query streams.
+
+    The same query can repeat (exercising hits), regions shrink and
+    grow arbitrarily (exercising witness revalidation and staleness),
+    and a tiny bound (max_entries=2) forces constant eviction in a
+    second cache that must still agree.
+    """
+    shape, density, seed, queries = case
+    dataset = random_tensor(shape, density, seed=seed)
+    caches = [ClosureCache(), ClosureCache(max_entries=2)]
+    for heights, rows, columns in queries:
+        expected_h = height_set_closed(dataset, heights, rows, columns)
+        expected_r = row_set_closed(dataset, heights, rows, columns)
+        expected_hs = height_support(dataset, rows, columns)
+        expected_rs = row_support(dataset, heights, columns)
+        expected_cs = column_support(dataset, heights, rows)
+        for cache in caches:
+            assert cache.height_set_closed(dataset, heights, rows, columns) == expected_h
+            assert cache.row_set_closed(dataset, heights, rows, columns) == expected_r
+            assert cache.height_support(dataset, rows, columns) == expected_hs
+            assert cache.row_support(dataset, heights, columns) == expected_rs
+            assert cache.column_support(dataset, heights, rows) == expected_cs
+            assert len(cache) <= cache.max_entries
+    small = caches[1]
+    assert small.hits + small.misses > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets_and_queries())
+def test_cached_close_and_predicates_match(case):
+    """``close`` and ``is_closed_cube`` agree with their uncached selves."""
+    shape, density, seed, queries = case
+    dataset = random_tensor(shape, density, seed=seed)
+    cache = ClosureCache(max_entries=3)
+    for heights, rows, columns in queries:
+        cube = Cube(heights, rows, columns)
+        assert is_closed_cube(dataset, cube, cache=cache) == is_closed_cube(
+            dataset, cube
+        )
+        if not cube.is_empty():
+            try:
+                expected = close(dataset, cube)
+            except ValueError:
+                continue
+            assert close(dataset, cube, cache=cache) == expected
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize(
+    "shape,density,seed",
+    [((4, 5, 12), 0.5, 3), ((5, 4, 20), 0.6, 7), ((4, 6, 70), 0.35, 11)],
+)
+def test_miner_cached_equals_uncached(kernel, shape, density, seed):
+    """The memoized miner reproduces the uncached run bit-for-bit."""
+    dataset = random_tensor(shape, density, seed=seed).with_kernel(kernel)
+    thresholds = Thresholds(2, 2, 2)
+    uncached = cubeminer_mine(dataset, thresholds, closure_cache=0)
+    cached = cubeminer_mine(dataset, thresholds)
+    assert cached.cubes == uncached.cubes
+    assert (
+        cached.stats["nodes_visited"] == uncached.stats["nodes_visited"]
+    )
+    assert (
+        cached.stats["leaves_emitted"] == uncached.stats["leaves_emitted"]
+    )
+
+
+@pytest.mark.parametrize("max_entries", [1, 2, 5])
+def test_bounded_cache_evicts_without_changing_output(max_entries):
+    """Heavy eviction degrades to recomputation, never to wrong cubes."""
+    dataset = random_tensor((5, 6, 24), 0.5, seed=19)
+    thresholds = Thresholds(2, 2, 2)
+    expected = cubeminer_mine(dataset, thresholds, closure_cache=0)
+    cache = ClosureCache(max_entries=max_entries)
+    bounded = cubeminer_mine(dataset, thresholds, closure_cache=cache)
+    assert bounded.cubes == expected.cubes
+    assert len(cache) <= max_entries
+    assert cache.evictions > 0
+    assert bounded.stats["closure_cache_evictions"] == cache.evictions
+
+
+def test_counters_surface_through_result_stats():
+    result = cubeminer_mine(paper_example(), Thresholds(2, 2, 2))
+    stats = result.stats
+    assert stats["closure_cache_hits"] + stats["closure_cache_misses"] > 0
+    assert stats["closure_cache_evictions"] == 0
+    serialized = stats.to_dict()["metrics"]
+    assert serialized["closure_cache_hits"] == stats["closure_cache_hits"]
+    disabled = cubeminer_mine(paper_example(), Thresholds(2, 2, 2), closure_cache=0)
+    assert disabled.stats["closure_cache_hits"] == 0
+    assert disabled.stats["closure_cache_misses"] == 0
+
+
+def test_shared_cache_accumulates_and_result_deltas_stay_per_run():
+    """A run folds only its own delta into metrics, not the cache total."""
+    dataset = paper_example()
+    thresholds = Thresholds(2, 2, 2)
+    cache = ClosureCache()
+    first = cubeminer_mine(dataset, thresholds, closure_cache=cache)
+    second = cubeminer_mine(dataset, thresholds, closure_cache=cache)
+    assert second.cubes == first.cubes
+    total = (
+        first.stats["closure_cache_hits"] + second.stats["closure_cache_hits"]
+    )
+    assert cache.hits == total
+
+
+def test_cache_rebinds_on_a_different_dataset():
+    a = random_tensor((3, 4, 8), 0.5, seed=1)
+    b = random_tensor((4, 3, 10), 0.5, seed=2)
+    cache = ClosureCache()
+    for dataset in (a, b, a):
+        for heights in range(1 << dataset.n_heights):
+            rows = (1 << dataset.n_rows) - 1
+            columns = (1 << dataset.n_columns) - 1
+            assert cache.height_set_closed(
+                dataset, heights, rows, columns
+            ) == height_set_closed(dataset, heights, rows, columns)
+
+
+def test_resolve_closure_cache_semantics():
+    assert resolve_closure_cache(0) is None
+    assert resolve_closure_cache(-5) is None
+    default = resolve_closure_cache(None)
+    assert isinstance(default, ClosureCache)
+    bounded = resolve_closure_cache(7)
+    assert bounded.max_entries == 7
+    existing = ClosureCache(max_entries=3)
+    assert resolve_closure_cache(existing) is existing
+    with pytest.raises(ValueError):
+        ClosureCache(max_entries=0)
+
+
+def test_options_thread_the_cache_knob():
+    from repro.api import mine
+    from repro.options import CubeMinerOptions
+
+    dataset = paper_example()
+    thresholds = Thresholds(2, 2, 2)
+    off = mine(
+        dataset, thresholds, algorithm="cubeminer",
+        options=CubeMinerOptions(closure_cache_size=0),
+    )
+    on = mine(dataset, thresholds, algorithm="cubeminer")
+    assert off.cubes == on.cubes
+    assert off.stats["closure_cache_hits"] == 0
+    assert on.stats["closure_cache_hits"] > 0
