@@ -24,7 +24,13 @@ from pathlib import Path
 import numpy as np
 
 from .bitset import full_mask
-from .kernels import Kernel, resolve_kernel
+from .kernels import (
+    Kernel,
+    PackedBufferError,
+    resolve_kernel,
+    tensor_from_words,
+    words_per_row,
+)
 
 __all__ = ["Dataset3D", "AXIS_NAMES"]
 
@@ -61,6 +67,7 @@ class Dataset3D:
 
     __slots__ = (
         "_data",
+        "_shape",
         "_height_labels",
         "_row_labels",
         "_column_labels",
@@ -93,6 +100,7 @@ class Dataset3D:
             array = array.astype(bool)
         self._data = array
         self._data.setflags(write=False)
+        self._shape = tuple(int(d) for d in array.shape)
         l, n, m = array.shape
         self._height_labels = self._check_labels("height", height_labels, l)
         self._row_labels = self._check_labels("row", row_labels, n)
@@ -123,25 +131,34 @@ class Dataset3D:
     # ------------------------------------------------------------------
     @property
     def data(self) -> np.ndarray:
-        """The underlying read-only boolean array of shape ``(l, n, m)``."""
+        """The underlying read-only boolean array of shape ``(l, n, m)``.
+
+        Datasets built over a packed word grid
+        (:meth:`from_packed_grid`, e.g. zero-copy shared-memory views)
+        materialize the tensor lazily on first access.
+        """
+        if self._data is None:
+            tensor = tensor_from_words(np.asarray(self._ones_grid), self._shape)
+            tensor.setflags(write=False)
+            self._data = tensor
         return self._data
 
     @property
     def shape(self) -> tuple[int, int, int]:
         """``(n_heights, n_rows, n_columns)``."""
-        return self._data.shape  # type: ignore[return-value]
+        return self._shape  # type: ignore[return-value]
 
     @property
     def n_heights(self) -> int:
-        return self._data.shape[0]
+        return self._shape[0]
 
     @property
     def n_rows(self) -> int:
-        return self._data.shape[1]
+        return self._shape[1]
 
     @property
     def n_columns(self) -> int:
-        return self._data.shape[2]
+        return self._shape[2]
 
     @property
     def height_labels(self) -> tuple[str, ...]:
@@ -175,36 +192,36 @@ class Dataset3D:
 
     def cell(self, k: int, i: int, j: int) -> bool:
         """Return ``O[k, i, j]``."""
-        return bool(self._data[k, i, j])
+        return bool(self.data[k, i, j])
 
     @property
     def density(self) -> float:
         """Fraction of one-cells in the tensor (0.0 for an empty tensor)."""
-        if self._data.size == 0:
+        if self.data.size == 0:
             return 0.0
-        return float(self._data.mean())
+        return float(self.data.mean())
 
     def count_ones(self) -> int:
         """Total number of one-cells."""
-        return int(self._data.sum())
+        return int(self.data.sum())
 
     def zeros_in_height(self, k: int) -> int:
         """Number of zero-cells in height slice ``k`` (used for ordering)."""
-        sl = self._data[k]
+        sl = self.data[k]
         return int(sl.size - sl.sum())
 
     # ------------------------------------------------------------------
     # Bitmask views (the miners' working representation)
     # ------------------------------------------------------------------
     def _build_masks(self) -> None:
-        l, n, m = self._data.shape
+        l, n, m = self.shape
         universe = full_mask(m)
         ones: list[list[int]] = []
         zeros: list[list[int]] = []
         for k in range(l):
             ones_k: list[int] = []
             zeros_k: list[int] = []
-            slice_k = self._data[k]
+            slice_k = self.data[k]
             for i in range(n):
                 # Pack the boolean row into an int with bit j == O[k,i,j].
                 packed = np.packbits(slice_k[i], bitorder="little").tobytes()
@@ -259,7 +276,10 @@ class Dataset3D:
         if kernel is not None and resolve_kernel(kernel) is self.kernel:
             return self
         clone = Dataset3D.__new__(Dataset3D)
-        clone._data = self._data
+        # A lazy (packed-grid) dataset has no tensor to rebuild the new
+        # kernel's grid from — materialize before dropping the old grid.
+        clone._data = self.data if self._data is None else self._data
+        clone._shape = self._shape
         clone._height_labels = self._height_labels
         clone._row_labels = self._row_labels
         clone._column_labels = self._column_labels
@@ -283,7 +303,7 @@ class Dataset3D:
                     self._ones_masks, self.n_columns
                 )
             else:
-                self._ones_grid = self.kernel.pack_grid_from_tensor(self._data)
+                self._ones_grid = self.kernel.pack_grid_from_tensor(self.data)
         return self._ones_grid
 
     # ------------------------------------------------------------------
@@ -301,7 +321,7 @@ class Dataset3D:
             raise ValueError(f"order {order!r} is not a permutation of the 3 axes")
         labels = [self.labels_for_axis(axis) for axis in perm]
         return Dataset3D(
-            np.transpose(self._data, perm).copy(),
+            np.transpose(self.data, perm).copy(),
             height_labels=labels[0],
             row_labels=labels[1],
             column_labels=labels[2],
@@ -329,7 +349,7 @@ class Dataset3D:
             )
         labels = tuple(self._height_labels[k] for k in order)
         return Dataset3D(
-            self._data[list(order)].copy(),
+            self.data[list(order)].copy(),
             height_labels=labels,
             row_labels=self._row_labels,
             column_labels=self._column_labels,
@@ -357,6 +377,75 @@ class Dataset3D:
         """Build a dataset from nested lists ``[height][row][column]``."""
         return cls(np.asarray(slices), **label_kwargs)
 
+    @classmethod
+    def from_packed_grid(
+        cls,
+        words: np.ndarray,
+        shape: tuple[int, int, int],
+        *,
+        kernel: str | Kernel | None = None,
+        height_labels: Sequence[str] | None = None,
+        row_labels: Sequence[str] | None = None,
+        column_labels: Sequence[str] | None = None,
+    ) -> "Dataset3D":
+        """Build a dataset over an ``(l, n, words)`` packed uint64 grid.
+
+        ``words`` must use the canonical little-endian layout of
+        :func:`repro.core.kernels.words_from_tensor`.  On a words-native
+        kernel (``numpy``) the array *becomes* the dataset's ones-grid
+        without copying — this is how shared-memory attachment stays
+        zero-copy; the boolean tensor materializes lazily only if some
+        caller asks for :attr:`data`.  Other kernels unpack a tensor
+        copy up front.  The grid is validated against ``shape``
+        (:class:`~repro.core.kernels.PackedBufferError` on mismatch), so
+        a corrupted buffer cannot silently yield garbage cubes.
+        """
+        l, n, m = (int(d) for d in shape)
+        if min(l, n, m) < 0:
+            raise ValueError(f"shape {shape!r} has negative dimensions")
+        arr = np.asarray(words)
+        expected = (l, n, words_per_row(m))
+        if arr.dtype != np.dtype("<u8") or arr.ndim != 3:
+            raise PackedBufferError(
+                f"packed grid must be a rank-3 little-endian uint64 array, "
+                f"got rank {arr.ndim} {arr.dtype}"
+            )
+        if arr.shape != expected:
+            raise PackedBufferError(
+                f"packed grid has shape {arr.shape}, expected {expected} "
+                f"for a dataset of shape {(l, n, m)}"
+            )
+        tail_bits = m % 64
+        if arr.size and tail_bits:
+            allowed = np.uint64((1 << tail_bits) - 1)
+            if (arr[..., -1] & ~allowed).any():
+                raise PackedBufferError(
+                    f"packed grid carries stray bits beyond column {m}"
+                )
+        resolved = resolve_kernel(kernel)
+        if not resolved.words_native:
+            return cls(
+                tensor_from_words(arr, (l, n, m)),
+                height_labels=height_labels,
+                row_labels=row_labels,
+                column_labels=column_labels,
+                kernel=kernel,
+            )
+        grid = arr.view()
+        grid.setflags(write=False)
+        ds = cls.__new__(cls)
+        ds._data = None
+        ds._shape = (l, n, m)
+        ds._height_labels = cls._check_labels("height", height_labels, l)
+        ds._row_labels = cls._check_labels("row", row_labels, n)
+        ds._column_labels = cls._check_labels("column", column_labels, m)
+        ds._ones_masks = None
+        ds._zeros_masks = None
+        ds._kernel_spec = kernel
+        ds._kernel = resolved
+        ds._ones_grid = grid
+        return ds
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
@@ -371,7 +460,7 @@ class Dataset3D:
         out.write(f"{l} {n} {m}\n")
         for k in range(l):
             for i in range(n):
-                out.write(" ".join("1" if v else "0" for v in self._data[k, i]))
+                out.write(" ".join("1" if v else "0" for v in self.data[k, i]))
                 out.write("\n")
             out.write("\n")
         return out.getvalue()
@@ -395,7 +484,7 @@ class Dataset3D:
         """Save the tensor and labels to a compressed ``.npz`` file."""
         np.savez_compressed(
             Path(path),
-            data=self._data,
+            data=self.data,
             height_labels=np.array(self._height_labels),
             row_labels=np.array(self._row_labels),
             column_labels=np.array(self._column_labels),
@@ -420,7 +509,7 @@ class Dataset3D:
         # them lazily, so only the tensor, labels and kernel name travel.
         spec = self._kernel_spec
         return {
-            "data": self._data,
+            "data": self.data,
             "height_labels": self._height_labels,
             "row_labels": self._row_labels,
             "column_labels": self._column_labels,
@@ -431,6 +520,7 @@ class Dataset3D:
         data = state["data"]
         data.setflags(write=False)
         self._data = data
+        self._shape = tuple(int(d) for d in data.shape)
         self._height_labels = state["height_labels"]
         self._row_labels = state["row_labels"]
         self._column_labels = state["column_labels"]
@@ -448,14 +538,14 @@ class Dataset3D:
             return NotImplemented
         return (
             self.shape == other.shape
-            and bool(np.array_equal(self._data, other._data))
+            and bool(np.array_equal(self.data, other.data))
             and self._height_labels == other._height_labels
             and self._row_labels == other._row_labels
             and self._column_labels == other._column_labels
         )
 
     def __hash__(self) -> int:
-        return hash((self.shape, self._data.tobytes()))
+        return hash((self.shape, self.data.tobytes()))
 
     def __repr__(self) -> str:
         l, n, m = self.shape

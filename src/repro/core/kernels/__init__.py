@@ -27,12 +27,22 @@ from __future__ import annotations
 
 import os
 
-from .base import Kernel
+from .base import (
+    Kernel,
+    PackedBufferError,
+    tensor_from_words,
+    words_from_tensor,
+    words_per_row,
+)
 from .numpy_kernel import NumpyKernel
 from .python_int import PythonIntKernel
 
 __all__ = [
     "Kernel",
+    "PackedBufferError",
+    "words_per_row",
+    "words_from_tensor",
+    "tensor_from_words",
     "PythonIntKernel",
     "NumpyKernel",
     "KERNEL_ENV_VAR",

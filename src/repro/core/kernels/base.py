@@ -36,7 +36,60 @@ from typing import Any, ClassVar
 
 import numpy as np
 
-__all__ = ["Kernel"]
+__all__ = [
+    "Kernel",
+    "PackedBufferError",
+    "words_per_row",
+    "words_from_tensor",
+    "tensor_from_words",
+]
+
+#: Canonical packed-word dtype shared by every words-native structure:
+#: little-endian uint64, word ``w`` holding bits ``64w .. 64w+63``.
+WORD_DTYPE = np.dtype("<u8")
+
+
+class PackedBufferError(ValueError):
+    """A packed mask/grid buffer does not match its declared geometry.
+
+    Raised when caller-supplied shape metadata disagrees with the actual
+    buffer (wrong dtype, word count, row count, or stray bits beyond the
+    declared universe) — e.g. a corrupted or mislabeled shared-memory
+    segment.  Subclasses :class:`ValueError` so untyped callers keep
+    working.
+    """
+
+
+def words_per_row(n_bits: int) -> int:
+    """Number of 64-bit words needed for an ``n_bits`` universe."""
+    return (n_bits + 63) // 64
+
+
+def words_from_tensor(data: np.ndarray) -> np.ndarray:
+    """Pack an ``(l, n, m)`` bool tensor into ``(l, n, words)`` uint64 words.
+
+    The layout is the library-wide little-endian convention: bit ``j``
+    of row ``(k, i)`` lives in word ``j // 64`` at bit ``j % 64``.  This
+    is the canonical byte-for-byte representation published through
+    shared memory, independent of the kernel that will consume it.
+    """
+    l, n, m = data.shape
+    words = words_per_row(m)
+    bits = np.packbits(data, axis=-1, bitorder="little")
+    padded = np.zeros((l, n, words * 8), dtype=np.uint8)
+    padded[:, :, : bits.shape[2]] = bits
+    return padded.view(WORD_DTYPE)
+
+
+def tensor_from_words(words_arr: np.ndarray, shape: tuple[int, int, int]) -> np.ndarray:
+    """Unpack ``(l, n, words)`` uint64 words back into an ``(l, n, m)`` bool
+    tensor (inverse of :func:`words_from_tensor`)."""
+    l, n, m = shape
+    if m == 0 or l == 0 or n == 0:
+        return np.zeros(shape, dtype=bool)
+    raw = np.ascontiguousarray(words_arr, dtype=WORD_DTYPE).view(np.uint8)
+    bits = np.unpackbits(raw, axis=-1, bitorder="little", count=m)
+    return bits.astype(bool)
 
 
 class Kernel(ABC):
@@ -49,6 +102,12 @@ class Kernel(ABC):
     """
 
     name: ClassVar[str]
+
+    #: True when this kernel's mask-array and grid handles natively *are*
+    #: the little-endian packed-uint64 word arrays of
+    #: :func:`words_from_tensor` — such a kernel can adopt a
+    #: shared-memory word buffer as a handle without copying.
+    words_native: ClassVar[bool] = False
 
     # ------------------------------------------------------------------
     # Mask arrays (1D)
@@ -80,6 +139,31 @@ class Kernel(ABC):
     @abstractmethod
     def supersets_of(self, handle: Any, sub: int) -> int:
         """Index bitmask of the packed masks that contain ``sub``."""
+
+    def check_packed(self, handle: Any, n_bits: int) -> int:
+        """Validate a mask-array handle against its declared universe.
+
+        Returns the row count on success; raises
+        :class:`PackedBufferError` when the handle's geometry disagrees
+        with ``n_bits`` or any mask carries bits outside the universe.
+        Guards handles arriving from untrusted buffers (checkpoint
+        journals, shared-memory segments) before they become a
+        :class:`~repro.fcp.matrix.BinaryMatrix`.  The generic path
+        validates the plain-int masks; words-native backends check the
+        word geometry directly without unpacking.
+        """
+        masks = handle if isinstance(handle, list) else self.unpack_masks(handle)
+        for i, mask in enumerate(masks):
+            if not isinstance(mask, int):
+                raise PackedBufferError(
+                    f"row {i} of a {self.name} handle is {type(mask).__name__}, "
+                    "expected int"
+                )
+            if mask < 0 or mask >> n_bits:
+                raise PackedBufferError(
+                    f"row {i} mask has bits outside the {n_bits}-bit universe"
+                )
+        return len(masks)
 
     # ------------------------------------------------------------------
     # Batched primitives (concrete defaults; subclasses may vectorize)

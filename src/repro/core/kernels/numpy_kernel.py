@@ -24,7 +24,7 @@ from typing import Any
 import numpy as np
 
 from ..bitset import full_mask
-from .base import Kernel
+from .base import Kernel, PackedBufferError, words_from_tensor, words_per_row
 
 __all__ = ["NumpyKernel"]
 
@@ -32,7 +32,7 @@ _WORD_DTYPE = np.dtype("<u8")
 
 
 def _n_words(n_bits: int) -> int:
-    return (n_bits + 63) // 64
+    return words_per_row(n_bits)
 
 
 def _pack_int(mask: int, words: int) -> np.ndarray:
@@ -65,6 +65,7 @@ class NumpyKernel(Kernel):
     """Vectorized batch operations on packed uint64 word arrays."""
 
     name = "numpy"
+    words_native = True
 
     # ------------------------------------------------------------------
     # Mask arrays
@@ -100,6 +101,28 @@ class NumpyKernel(Kernel):
         sub_words = _pack_int(sub, handle.shape[1])
         ok = ((sub_words & ~handle) == 0).all(axis=1)
         return _mask_from_bools(ok)
+
+    def check_packed(self, handle: np.ndarray, n_bits: int) -> int:
+        arr = np.asarray(handle)
+        if arr.ndim != 2 or arr.dtype != _WORD_DTYPE:
+            raise PackedBufferError(
+                f"numpy handle must be a rank-2 {_WORD_DTYPE} array, got "
+                f"rank {arr.ndim} {arr.dtype}"
+            )
+        words = _n_words(n_bits)
+        if arr.shape[1] != words:
+            raise PackedBufferError(
+                f"handle holds {arr.shape[1]} words per row, expected "
+                f"{words} for a {n_bits}-bit universe"
+            )
+        tail_bits = n_bits % 64
+        if arr.size and tail_bits:
+            allowed = np.uint64((1 << tail_bits) - 1)
+            if (arr[:, -1] & ~allowed).any():
+                raise PackedBufferError(
+                    f"handle carries stray bits beyond the {n_bits}-bit universe"
+                )
+        return int(arr.shape[0])
 
     # ------------------------------------------------------------------
     # Batched primitives
@@ -144,12 +167,7 @@ class NumpyKernel(Kernel):
         return packed
 
     def pack_grid_from_tensor(self, data: np.ndarray) -> np.ndarray:
-        l, n, m = data.shape
-        words = _n_words(m)
-        bits = np.packbits(data, axis=-1, bitorder="little")
-        padded = np.zeros((l, n, words * 8), dtype=np.uint8)
-        padded[:, :, : bits.shape[2]] = bits
-        return padded.view(_WORD_DTYPE)
+        return words_from_tensor(data)
 
     def grid_fold_and(self, grid: np.ndarray, heights: int, rows: int, n_bits: int) -> int:
         if heights == 0 or rows == 0:

@@ -15,9 +15,9 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..core.bitset import full_mask, indices
-from ..core.kernels import Kernel, resolve_kernel
+from ..core.kernels import Kernel, PackedBufferError, resolve_kernel
 
-__all__ = ["BinaryMatrix"]
+__all__ = ["BinaryMatrix", "PackedBufferError"]
 
 
 class BinaryMatrix:
@@ -81,18 +81,21 @@ class BinaryMatrix:
         (e.g. :meth:`repro.core.kernels.Kernel.intersect_rows` output)
         becomes the matrix's ``packed_rows()`` directly, and the plain
         int row masks materialize lazily only if a caller needs them.
-        The handle must belong to ``kernel`` and carry only bits inside
-        the ``n_columns`` universe — both hold for handles produced by
-        that kernel's own grid operations, which is why this path skips
-        the per-row validation of the public constructor.
+        The handle's geometry is validated against ``n_columns`` through
+        :meth:`repro.core.kernels.Kernel.check_packed` — a cheap shape /
+        stray-bit check, not a per-row unpack — so a malformed buffer
+        (e.g. a corrupted shared-memory segment) raises
+        :class:`~repro.core.kernels.PackedBufferError` instead of
+        silently yielding garbage patterns.
         """
+        resolved = resolve_kernel(kernel)
         matrix = cls.__new__(cls)
         matrix._row_masks = None
-        matrix._n_rows = len(handle)
+        matrix._n_rows = resolved.check_packed(handle, n_columns)
         matrix._n_columns = n_columns
         matrix._column_rows = None
         matrix._kernel_spec = kernel
-        matrix._kernel = None
+        matrix._kernel = resolved
         matrix._packed_rows = handle
         return matrix
 

@@ -74,6 +74,13 @@ class MiningMetrics:
     # -- substrate / parallel ------------------------------------------
     kernel_ops: int = 0
     workers_merged: int = 0
+    # Driver-side transport/shard counters: incremented once per run by
+    # the parallel drivers (never per worker attach, so clean and
+    # fault-recovered runs of one config report identical totals).
+    shm_datasets_published: int = 0
+    shm_copy_fallbacks: int = 0
+    shard_merges: int = 0
+    shard_merge_dropped: int = 0
     # -- closure-memoization cache (repro.core.closure.ClosureCache) ---
     closure_cache_hits: int = 0
     closure_cache_misses: int = 0

@@ -103,6 +103,17 @@ class ParallelOptions(_OptionsBase):
     n_workers: int = 2
     #: Task chunks handed to each worker (load-balancing granularity).
     chunks_per_worker: int = 4
+    #: Partition the enumerated dimension's task space into this many
+    #: independently minable shards (results merge with closure
+    #: re-validation at the shard boundary).
+    shards: int = 1
+    #: Dimension to shard along: must match the enumerated base
+    #: dimension for parallel-rsm; parallel-cubeminer only accepts
+    #: ``"auto"`` (its frontier has no named axis).
+    shard_dim: int | str = "auto"
+    #: Dataset transport: ``None`` auto-selects shared memory for pooled
+    #: runs, ``True`` forces it, ``False`` keeps the pickled copy path.
+    use_shm: bool | None = None
     #: parallel-cubeminer: cutter ordering heuristic.
     order: HeightOrder = HeightOrder.ZERO_DECREASING
     #: parallel-cubeminer: frontier size floor for task expansion
@@ -129,6 +140,9 @@ class ParallelOptions(_OptionsBase):
         kwargs = {
             "n_workers": self.n_workers,
             "chunks_per_worker": self.chunks_per_worker,
+            "shards": self.shards,
+            "shard_dim": self.shard_dim,
+            "use_shm": self.use_shm,
             "retries": self.retries,
             "task_timeout": self.task_timeout,
             "backoff": self.backoff,

@@ -9,6 +9,23 @@ from .checkpoint import (
 )
 from .executor import parallel_cubeminer_mine, parallel_rsm_mine
 from .faults import FAULT_KINDS, Fault, FaultInjected, FaultPlan
+from .sharding import (
+    merge_shard_results,
+    partition_cubeminer_tasks,
+    partition_rsm_tasks,
+    shard_blocks,
+    shard_of_mask,
+)
+from .shm import (
+    SHM_PREFIX,
+    ShmAttachment,
+    ShmDatasetRef,
+    ShmError,
+    ShmManager,
+    active_segments,
+    attach_dataset,
+    publish_dataset,
+)
 from .simulator import (
     CommunicationModel,
     measure_cubeminer_task_times,
@@ -41,4 +58,17 @@ __all__ = [
     "CubeMinerTask",
     "cubeminer_tasks",
     "rsm_tasks",
+    "SHM_PREFIX",
+    "ShmAttachment",
+    "ShmDatasetRef",
+    "ShmError",
+    "ShmManager",
+    "active_segments",
+    "attach_dataset",
+    "publish_dataset",
+    "merge_shard_results",
+    "partition_cubeminer_tasks",
+    "partition_rsm_tasks",
+    "shard_blocks",
+    "shard_of_mask",
 ]

@@ -214,6 +214,66 @@ class TestSerialization:
         assert clone.ones_mask(2, 3) == paper_ds.ones_mask(2, 3)
 
 
+class TestFromPackedGrid:
+    """The zero-copy constructor behind shared-memory attach."""
+
+    def _words(self, ds):
+        from repro.core.kernels import words_from_tensor
+
+        return words_from_tensor(ds.data)
+
+    def test_round_trip(self, paper_ds):
+        clone = Dataset3D.from_packed_grid(
+            self._words(paper_ds), paper_ds.shape
+        )
+        assert clone == paper_ds
+
+    def test_numpy_kernel_adopts_without_copy(self, paper_ds):
+        words = self._words(paper_ds)
+        clone = Dataset3D.from_packed_grid(
+            words, paper_ds.shape, kernel="numpy"
+        )
+        assert np.shares_memory(np.asarray(clone.ones_grid()), words)
+        assert np.array_equal(clone.data, paper_ds.data)
+
+    def test_wrong_shape_rejected(self, paper_ds):
+        from repro.core.kernels import PackedBufferError
+
+        with pytest.raises(PackedBufferError):
+            Dataset3D.from_packed_grid(self._words(paper_ds), (3, 4, 999))
+
+    def test_stray_bits_rejected(self, paper_ds):
+        from repro.core.kernels import PackedBufferError
+
+        words = self._words(paper_ds).copy()
+        words[0, 0] |= np.uint64(1) << np.uint64(63)
+        with pytest.raises(PackedBufferError, match="stray"):
+            Dataset3D.from_packed_grid(words, paper_ds.shape)
+
+    def test_wrong_dtype_rejected(self, paper_ds):
+        from repro.core.kernels import PackedBufferError
+
+        with pytest.raises(PackedBufferError):
+            Dataset3D.from_packed_grid(
+                self._words(paper_ds).astype(np.int64), paper_ds.shape
+            )
+
+    def test_negative_dimension_rejected(self, paper_ds):
+        with pytest.raises(ValueError):
+            Dataset3D.from_packed_grid(self._words(paper_ds), (3, -4, 5))
+
+    def test_mining_on_reconstructed_dataset(self, paper_ds):
+        from repro.api import mine
+        from repro.core.constraints import Thresholds
+
+        clone = Dataset3D.from_packed_grid(
+            self._words(paper_ds), paper_ds.shape, kernel="numpy"
+        )
+        expected = mine(paper_ds, Thresholds(2, 2, 2))
+        got = mine(clone, Thresholds(2, 2, 2))
+        assert got.same_cubes(expected)
+
+
 class TestDunder:
     def test_eq_and_hash(self, paper_ds):
         other = Dataset3D(paper_ds.data.copy())

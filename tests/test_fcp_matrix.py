@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.fcp.matrix import BinaryMatrix
+from repro.core.kernels import available_kernels, resolve_kernel
+from repro.fcp.matrix import BinaryMatrix, PackedBufferError
 
 
 @pytest.fixture
@@ -47,6 +48,50 @@ class TestConstruction:
         data[0, 99] = True
         matrix = BinaryMatrix.from_array(data)
         assert matrix.row_mask(0) == 1 << 99
+
+
+class TestFromPackedValidation:
+    """Regression: ``from_packed`` must validate the handle's geometry
+    (row count/words-per-row/stray bits) instead of deferring a
+    malformed buffer to a crash — or silent garbage — deep in mining."""
+
+    @pytest.mark.parametrize("kernel", available_kernels())
+    def test_valid_handle_accepted(self, kernel, small):
+        handle = resolve_kernel(kernel).pack_masks(small.row_masks(), 3)
+        packed = BinaryMatrix.from_packed(handle, 3, kernel=kernel)
+        assert packed == small
+        assert packed.n_rows == 3
+
+    @pytest.mark.parametrize("kernel", available_kernels())
+    def test_stray_bits_rejected(self, kernel):
+        handle = resolve_kernel(kernel).pack_masks([0b101], 3)
+        with pytest.raises(PackedBufferError):
+            BinaryMatrix.from_packed(handle, 2, kernel=kernel)
+
+    def test_numpy_wrong_word_count_rejected(self):
+        handle = np.zeros((2, 2), dtype="<u8")  # 65+ columns' worth
+        with pytest.raises(PackedBufferError, match="word"):
+            BinaryMatrix.from_packed(handle, 10, kernel="numpy")
+
+    def test_numpy_wrong_rank_rejected(self):
+        with pytest.raises(PackedBufferError):
+            BinaryMatrix.from_packed(
+                np.zeros(3, dtype="<u8"), 3, kernel="numpy"
+            )
+
+    def test_numpy_wrong_dtype_rejected(self):
+        with pytest.raises(PackedBufferError):
+            BinaryMatrix.from_packed(
+                np.zeros((2, 1), dtype=np.int32), 3, kernel="numpy"
+            )
+
+    def test_python_int_non_int_row_rejected(self):
+        with pytest.raises(PackedBufferError, match="int"):
+            BinaryMatrix.from_packed(["0b101"], 3, kernel="python-int")
+
+    def test_error_is_a_value_error(self):
+        # Callers that guarded with ValueError keep working.
+        assert issubclass(PackedBufferError, ValueError)
 
 
 class TestAccess:
