@@ -1,0 +1,130 @@
+"""Service benchmark: cold mining jobs vs threshold-lattice cache hits.
+
+Boots the daemon on an ephemeral port, registers one synthetic
+dataset, runs a cold parallel-free mining job at loose thresholds,
+then answers a ladder of element-wise tighter queries from the cache.
+Reports the daemon's own counters (jobs run, cache hits/misses,
+filtered serves, cubes filtered) and the cold-vs-cached latency split.
+
+The counters are deterministic functions of the seeded workload; the
+latencies are informational (wall clock varies across machines).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --output BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+from repro.core.constraints import Thresholds
+from repro.datasets import cdc15_like
+from repro.service import ServiceApp, ServiceClient, serve
+
+#: The loose anchor job plus the tighter queries the cache must absorb.
+LOOSE = Thresholds(2, 2, 10)
+TIGHTER = [
+    Thresholds(2, 2, 14),
+    Thresholds(2, 3, 14),
+    Thresholds(3, 3, 14),
+    Thresholds(3, 3, 18, min_volume=200),
+    Thresholds(3, 4, 22, min_volume=400),
+]
+
+
+def run_bench() -> dict:
+    dataset = cdc15_like(150, seed=1)
+    data_dir = tempfile.mkdtemp(prefix="repro-bench-service-")
+    app = ServiceApp(data_dir, max_workers=2)
+    server = serve(app, port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+    try:
+        entry = client.register_dataset(dataset)
+
+        start = time.perf_counter()
+        cold = client.mine(entry.fingerprint, LOOSE, timeout=600)
+        cold_seconds = time.perf_counter() - start
+        assert not cold.cache_hit
+
+        cached_seconds = []
+        cubes_filtered = 0
+        for thresholds in TIGHTER:
+            start = time.perf_counter()
+            served = client.mine(entry.fingerprint, thresholds, timeout=600)
+            cached_seconds.append(time.perf_counter() - start)
+            assert served.cache_hit, f"expected cache hit at {thresholds}"
+            note = served.result.stats.extra["cache"]
+            cubes_filtered += note["cubes_filtered"]
+
+        health = client.health()
+        cached_median = statistics.median(cached_seconds)
+        return {
+            "schema": 1,
+            "workload": {
+                "dataset": "cdc15_like(150, seed=1)",
+                "shape": list(dataset.shape),
+                "loose_thresholds": LOOSE.to_dict(),
+                "n_tighter_queries": len(TIGHTER),
+            },
+            "counters": {
+                "jobs_run": health["jobs"]["jobs_run"],
+                "jobs_done": health["jobs"]["done"],
+                "cache_entries": health["cache"]["entries"],
+                "cache_hits": health["cache"]["hits"],
+                "cache_misses": health["cache"]["misses"],
+                "filtered_served": health["cache"]["filtered_served"],
+                "cubes_mined_cold": len(cold.result),
+                "cubes_filtered_total": cubes_filtered,
+            },
+            "latency_informational": {
+                "cold_job_seconds": round(cold_seconds, 4),
+                "cached_query_seconds_median": round(cached_median, 4),
+                "cold_over_cached": round(cold_seconds / cached_median, 1),
+            },
+        }
+    finally:
+        server.shutdown()
+        server.server_close()
+        app.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", default=None, help="write the report as JSON to this path"
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench()
+    counters = report["counters"]
+    latency = report["latency_informational"]
+    print("service benchmark")
+    print(f"  dataset               : {report['workload']['dataset']}")
+    print(f"  jobs run (workers)    : {counters['jobs_run']}")
+    print(f"  cache hits / misses   : {counters['cache_hits']} / {counters['cache_misses']}")
+    print(f"  filtered serves       : {counters['filtered_served']}")
+    print(f"  cubes mined cold      : {counters['cubes_mined_cold']}")
+    print(f"  cubes filtered total  : {counters['cubes_filtered_total']}")
+    print(f"  cold job latency      : {latency['cold_job_seconds']}s")
+    print(f"  cached query latency  : {latency['cached_query_seconds_median']}s (median)")
+    print(f"  cold / cached         : {latency['cold_over_cached']}x")
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import sys
 
-from repro import Thresholds, mine
+from repro import RSMOptions, Thresholds, mine
 from repro.analysis import dataset_stats, derive_rules, result_stats
 from repro.datasets import binarize_by_row_mean, synthetic_expression
 
@@ -36,7 +36,9 @@ def main(n_genes: int = 300) -> None:
     thresholds = Thresholds(min_h=3, min_r=3, min_c=max(2, n_genes * 1000 // 7161))
     print(f"\nMining with {thresholds} ...")
     cubeminer_result = mine(dataset, thresholds)
-    rsm_result = mine(dataset, thresholds, algorithm="rsm", base_axis="auto")
+    rsm_result = mine(
+        dataset, thresholds, algorithm="rsm", options=RSMOptions(base_axis="auto")
+    )
     print(f"  {cubeminer_result.summary()}")
     print(f"  {rsm_result.summary()}")
     assert cubeminer_result.same_cubes(rsm_result)

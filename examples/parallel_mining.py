@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import os
 
-from repro import Thresholds, mine
+from repro import ParallelOptions, Thresholds, mine
 from repro.datasets import cdc15_like
 from repro.parallel import (
     CommunicationModel,
@@ -36,7 +36,10 @@ def main() -> None:
     n_workers = min(4, os.cpu_count() or 1)
     for algorithm in ("parallel-cubeminer", "parallel-rsm"):
         result = mine(
-            dataset, thresholds, algorithm=algorithm, n_workers=n_workers
+            dataset,
+            thresholds,
+            algorithm=algorithm,
+            options=ParallelOptions(n_workers=n_workers),
         )
         print(f"{algorithm:<15}: {result.summary()}")
         assert result.same_cubes(sequential), "parallel must equal sequential"

@@ -11,7 +11,7 @@ inspect the cubes.
 
 from __future__ import annotations
 
-from repro import Cube, Thresholds, mine
+from repro import Cube, RSMOptions, Thresholds, mine
 from repro.datasets import paper_example
 
 
@@ -30,7 +30,9 @@ def main() -> None:
         print(f"  {cube.format(dataset)}")
 
     # RSM: enumerate a base dimension, mine 2D slices, post-prune.
-    rsm_result = mine(dataset, thresholds, algorithm="rsm", base_axis="auto")
+    rsm_result = mine(
+        dataset, thresholds, algorithm="rsm", options=RSMOptions(base_axis="auto")
+    )
     print(f"\n{rsm_result.summary()}")
     assert result.same_cubes(rsm_result), "both algorithms must agree"
 

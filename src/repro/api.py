@@ -14,7 +14,6 @@ hand-maintained.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -199,7 +198,6 @@ def mine(
     on_event: EventSink | None = None,
     progress: "ProgressController | Callable | None" = None,
     deadline: float | None = None,
-    **legacy_options,
 ) -> MiningResult:
     """Mine all frequent closed cubes of ``dataset``.
 
@@ -250,20 +248,15 @@ def mine(
         ``ProgressController.cancel()``) the run raises
         :class:`~repro.obs.progress.MiningCancelled` whose ``partial``
         attribute holds the cubes and metrics gathered so far.
-    legacy_options:
-        Pre-1.1 loose keywords (e.g. ``order=``, ``n_workers=``),
-        forwarded as-is.  Deprecated — pass ``options=`` instead.
+
+    .. versionchanged:: 2.0
+        The pre-1.1 loose-keyword path (``mine(..., order=...,
+        n_workers=...)``) was removed after a deprecation cycle; the
+        typed ``options=`` dataclasses are the only option channel.
+        See ``docs/api.md`` for the keyword-by-keyword migration table.
     """
     spec = get_algorithm(algorithm)
-    if legacy_options:
-        warnings.warn(
-            "passing loose algorithm keywords to mine() is deprecated; "
-            f"use options={', '.join(sorted(legacy_options))!s} via a typed "
-            "options dataclass (repro.options)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    kwargs = dict(legacy_options)
+    kwargs: dict = {}
     if options is not None:
         to_kwargs = getattr(options, "to_kwargs", None)
         if to_kwargs is None:
@@ -271,14 +264,7 @@ def mine(
                 f"options must be a typed options dataclass with to_kwargs(), "
                 f"got {type(options).__name__}"
             )
-        typed = to_kwargs(algorithm)
-        overlap = sorted(set(typed) & set(kwargs))
-        if overlap:
-            raise ValueError(
-                f"option(s) {overlap} passed both as loose keywords and via "
-                f"options="
-            )
-        kwargs.update(typed)
+        kwargs.update(to_kwargs(algorithm))
     for key, value in (
         ("metrics", metrics),
         ("on_event", on_event),

@@ -13,6 +13,9 @@ Subcommands::
     repro-fcc explore   — find the minC that fits a cube budget
     repro-fcc topk      — find the k largest closed cubes
     repro-fcc example   — reproduce the paper's running example tables
+    repro-fcc serve     — run the persistent mining service daemon
+    repro-fcc submit    — submit a mining job to a running daemon
+    repro-fcc jobs      — list/inspect/cancel jobs on a daemon
 
 Every command prints human-readable text to stdout; ``mine`` exits 0
 even when no cube is found (an empty result is a valid answer).  The
@@ -154,6 +157,48 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--min-c", type=int, default=1)
 
     sub.add_parser("example", help="reproduce the paper's running example")
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the persistent mining service daemon"
+    )
+    serve_cmd.add_argument("--data-dir", required=True,
+                           help="directory for datasets, jobs and the "
+                                "result cache (created if missing)")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8765,
+                           help="TCP port (0 picks an ephemeral one)")
+    serve_cmd.add_argument("--max-workers", type=int, default=2,
+                           help="concurrent mining worker processes")
+    serve_cmd.add_argument("--verbose", action="store_true",
+                           help="log every request to stderr")
+
+    submit = sub.add_parser(
+        "submit", help="submit a mining job to a running daemon"
+    )
+    submit.add_argument("--server", default="http://127.0.0.1:8765")
+    submit.add_argument("--input", required=True,
+                        help="dataset to upload: .npz, .triples or dense text")
+    submit.add_argument("--min-h", type=int, default=2)
+    submit.add_argument("--min-r", type=int, default=2)
+    submit.add_argument("--min-c", type=int, default=2)
+    submit.add_argument("--min-volume", type=int, default=1)
+    submit.add_argument("--algorithm", choices=ALGORITHMS, default="cubeminer")
+    submit.add_argument("--no-cache", dest="use_cache", action="store_false",
+                        help="force a fresh mine past the result cache")
+    submit.add_argument("--no-wait", dest="wait", action="store_false",
+                        help="return immediately with the job id")
+    submit.add_argument("--show", type=int, default=10,
+                        help="print at most this many cubes (0 = none)")
+
+    jobs_cmd = sub.add_parser(
+        "jobs", help="list jobs on a daemon, or inspect/cancel one"
+    )
+    jobs_cmd.add_argument("--server", default="http://127.0.0.1:8765")
+    jobs_cmd.add_argument("--job", default=None, help="job id to inspect")
+    jobs_cmd.add_argument("--events", action="store_true",
+                          help="with --job: print the event journal")
+    jobs_cmd.add_argument("--cancel", action="store_true",
+                          help="with --job: cancel it")
     return parser
 
 
@@ -507,6 +552,110 @@ def _explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(args: argparse.Namespace) -> int:
+    from .service import ServiceApp
+    from .service import serve as bind_server
+
+    app = ServiceApp(args.data_dir, max_workers=args.max_workers)
+    server = bind_server(app, args.host, args.port, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(
+        f"repro-fcc service on http://{host}:{port} "
+        f"(data: {args.data_dir}, workers: {args.max_workers})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        app.close()
+    return 0
+
+
+def _print_served_result(served, show: int) -> None:
+    result = served.result
+    provenance = "cache hit" if served.cache_hit else "fresh mine"
+    if served.cache_hit and served.filtered_from is not None:
+        provenance += f" (filtered from [{served.filtered_from}])"
+    print(f"{result.summary()} [{provenance}]")
+    for cube in list(result)[:show]:
+        print(" ", cube.format())
+    if len(result) > show:
+        print(f"  ... and {len(result) - show} more")
+
+
+def _submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceClientError
+
+    dataset = _load_any(args.input)
+    thresholds = Thresholds(
+        args.min_h, args.min_r, args.min_c, min_volume=args.min_volume
+    )
+    client = ServiceClient(args.server)
+    try:
+        record = client.submit(
+            dataset,
+            thresholds,
+            algorithm=args.algorithm,
+            use_cache=args.use_cache,
+        )
+        tag = " (cache hit)" if record.cache_hit else ""
+        print(f"job {record.id}: {record.status}{tag}")
+        if not args.wait:
+            return 0
+        record = client.wait(record.id)
+        if record.status != "done":
+            print(f"job {record.id} {record.status}: {record.error or ''}",
+                  file=sys.stderr)
+            return 1
+        _print_served_result(client.result(record.id), args.show)
+        return 0
+    except ServiceClientError as error:
+        raise SystemExit(f"error: {error}")
+
+
+def _jobs(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.server)
+    try:
+        if args.job is None:
+            records = client.jobs()
+            print(f"{len(records)} job(s)")
+            for record in records:
+                tag = " cache-hit" if record.cache_hit else ""
+                print(
+                    f"  {record.id}  {record.status:<9} "
+                    f"{record.spec.algorithm:<19} "
+                    f"[{record.spec.thresholds}]{tag}"
+                )
+            return 0
+        if args.cancel:
+            record = client.cancel(args.job)
+            print(f"job {record.id}: {record.status}")
+            return 0
+        record = client.job(args.job)
+        print(f"job {record.id}: {record.status}")
+        print(f"  algorithm : {record.spec.algorithm}")
+        print(f"  thresholds: {record.spec.thresholds}")
+        print(f"  attempts  : {record.attempts}")
+        if record.progress:
+            print(f"  progress  : {record.progress}")
+        if record.error:
+            print(f"  error     : {record.error}")
+        if record.cache_hit:
+            print(f"  cache hit : filtered from [{record.filtered_from}]")
+        if args.events:
+            events, _ = client.events(args.job)
+            for event in events:
+                print(f"  {json.dumps(event)}")
+        return 0
+    except ServiceClientError as error:
+        raise SystemExit(f"error: {error}")
+
+
 _HANDLERS = {
     "generate": _generate,
     "stats": _stats,
@@ -519,6 +668,9 @@ _HANDLERS = {
     "explore": _explore,
     "topk": _topk,
     "example": _example,
+    "serve": _serve,
+    "submit": _submit,
+    "jobs": _jobs,
 }
 
 

@@ -53,9 +53,68 @@ class Thresholds:
             and cube.volume >= self.min_volume
         )
 
+    def dominates(self, other: "Thresholds") -> bool:
+        """True when this threshold set is looser-or-equal than ``other``.
+
+        ``a.dominates(b)`` means every constraint of ``a`` is
+        element-wise ``<=`` the matching constraint of ``b`` (all three
+        axis minimums and ``min_volume``).  By threshold monotonicity
+        the FCC result mined at ``a`` is then a superset of the result
+        at ``b``: filtering the ``a``-result with
+        :meth:`~repro.core.cube.Cube.satisfies` reproduces the
+        ``b``-result exactly.  This is the lattice order behind the
+        service's threshold-lattice result cache
+        (:mod:`repro.service.cache`).
+        """
+        return (
+            self.min_h <= other.min_h
+            and self.min_r <= other.min_r
+            and self.min_c <= other.min_c
+            and self.min_volume <= other.min_volume
+        )
+
     def as_tuple(self) -> tuple[int, int, int]:
         """``(min_h, min_r, min_c)`` in canonical axis order."""
         return (self.min_h, self.min_r, self.min_c)
+
+    def to_dict(self) -> dict[str, int]:
+        """All four constraints as a JSON-ready dict."""
+        return {
+            "min_h": self.min_h,
+            "min_r": self.min_r,
+            "min_c": self.min_c,
+            "min_volume": self.min_volume,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: "dict | list | tuple | Thresholds") -> "Thresholds":
+        """Rebuild from :meth:`to_dict` output (or a 3/4-tuple).
+
+        Accepts the dict schema, an existing :class:`Thresholds`
+        (returned unchanged), or a ``[min_h, min_r, min_c]`` /
+        ``[min_h, min_r, min_c, min_volume]`` sequence — the wire shapes
+        used by result JSON and the service API.
+        """
+        if isinstance(payload, Thresholds):
+            return payload
+        if isinstance(payload, (list, tuple)):
+            if len(payload) == 3:
+                return cls(*(int(v) for v in payload))
+            if len(payload) == 4:
+                h, r, c, volume = (int(v) for v in payload)
+                return cls(h, r, c, min_volume=volume)
+            raise ValueError(
+                f"threshold sequence must have 3 or 4 entries, got {payload!r}"
+            )
+        unknown = set(payload) - {"min_h", "min_r", "min_c", "min_volume"}
+        if unknown:
+            raise ValueError(f"unknown threshold key(s) {sorted(unknown)}")
+        return cls(
+            int(payload.get("min_h", 1)),
+            int(payload.get("min_r", 1)),
+            int(payload.get("min_c", 1)),
+            min_volume=int(payload.get("min_volume", 1)),
+        )
 
     def permute(self, order: tuple[int, int, int]) -> "Thresholds":
         """Thresholds for a dataset transposed with the same axis ``order``.

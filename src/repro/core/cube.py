@@ -106,6 +106,23 @@ class Cube:
     # ------------------------------------------------------------------
     # Set relations
     # ------------------------------------------------------------------
+    def satisfies(self, thresholds) -> bool:
+        """True when the cube meets every minimum of ``thresholds``.
+
+        The dual of :meth:`Thresholds.satisfied_by
+        <repro.core.constraints.Thresholds.satisfied_by>`, phrased from
+        the cube's side — the filtering primitive of the
+        threshold-lattice result cache: a result mined at loose
+        thresholds answers a tighter query by keeping exactly the cubes
+        for which ``cube.satisfies(tight)`` holds.
+        """
+        return (
+            self.h_support >= thresholds.min_h
+            and self.r_support >= thresholds.min_r
+            and self.c_support >= thresholds.min_c
+            and self.volume >= thresholds.min_volume
+        )
+
     def contains(self, other: "Cube") -> bool:
         """True when ``other`` is a sub-cube of this one (all three axes)."""
         return (

@@ -116,6 +116,9 @@ class MiningStats(MutableMapping):
 class MiningResult:
     """The outcome of one FCC mining run."""
 
+    #: Version tag of the :meth:`to_json` payload schema.
+    SCHEMA_VERSION = 1
+
     cubes: list[Cube]
     algorithm: str = "unknown"
     thresholds: Thresholds | None = None
@@ -166,6 +169,78 @@ class MiningResult:
             other.cube_set() if isinstance(other, MiningResult) else frozenset(other)
         )
         return mine - theirs, theirs - mine
+
+    # ------------------------------------------------------------------
+    # Stable JSON round-trip (the service wire format)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """Serialize to a JSON-ready dict with a stable, versioned schema.
+
+        Cubes travel as raw ``[heights, rows, columns]`` bitmask triples
+        (arbitrary-precision ints, which JSON represents exactly), so
+        ``from_payload(result.to_payload())`` is a lossless round-trip:
+        same cube set *and* order, same thresholds (including
+        ``min_volume``), same :class:`MiningStats` content.  This is the
+        shape service responses use — a library object and a service
+        response are the same data.
+        """
+        return {
+            "schema": self.SCHEMA_VERSION,
+            "algorithm": self.algorithm,
+            "thresholds": (
+                self.thresholds.to_dict() if self.thresholds is not None else None
+            ),
+            "dataset_shape": (
+                list(self.dataset_shape) if self.dataset_shape is not None else None
+            ),
+            "elapsed_seconds": self.elapsed_seconds,
+            "stats": self.stats.to_dict(),
+            "cubes": [
+                [cube.heights, cube.rows, cube.columns] for cube in self.cubes
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MiningResult":
+        """Rebuild a result from :meth:`to_payload` output."""
+        schema = payload.get("schema")
+        if schema != cls.SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported MiningResult schema {schema!r} "
+                f"(this build reads schema {cls.SCHEMA_VERSION})"
+            )
+        cubes = []
+        for entry in payload.get("cubes") or []:
+            if len(entry) != 3:
+                raise ValueError(f"expected [h, r, c] masks, got {entry!r}")
+            cubes.append(Cube(*(int(mask) for mask in entry)))
+        raw_thresholds = payload.get("thresholds")
+        shape = payload.get("dataset_shape")
+        return cls(
+            cubes=cubes,
+            algorithm=str(payload.get("algorithm", "unknown")),
+            thresholds=(
+                Thresholds.from_dict(raw_thresholds)
+                if raw_thresholds is not None
+                else None
+            ),
+            dataset_shape=tuple(int(s) for s in shape) if shape else None,
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            stats=MiningStats.from_dict(payload.get("stats")),
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """:meth:`to_payload` rendered as a JSON document."""
+        import json
+
+        return json.dumps(self.to_payload(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MiningResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        import json
+
+        return cls.from_payload(json.loads(text))
 
     # ------------------------------------------------------------------
     # Presentation

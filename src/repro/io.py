@@ -19,6 +19,7 @@ CSV (one cube per line, for spreadsheets/pandas).
 from __future__ import annotations
 
 import csv
+import hashlib
 import io as _io
 import json
 from pathlib import Path
@@ -33,6 +34,9 @@ __all__ = [
     "save_triples",
     "load_triples",
     "load_event_csv",
+    "dataset_fingerprint",
+    "dataset_to_payload",
+    "dataset_from_payload",
     "result_to_json",
     "result_from_json",
     "result_to_csv",
@@ -193,6 +197,89 @@ def load_event_csv(
         row_labels=list(rows),
         column_labels=list(columns),
     )
+
+
+# ----------------------------------------------------------------------
+# Content fingerprint and JSON wire format (the service registry key)
+# ----------------------------------------------------------------------
+def dataset_fingerprint(dataset: Dataset3D) -> str:
+    """A sha256 digest of the dataset's *cell content*.
+
+    Covers the shape and every cell value (bit-packed in canonical C
+    order) but deliberately not the labels or the kernel backend:
+    neither changes the mined cube sets, so two uploads of the same
+    tensor share one registry entry and one threshold-lattice cache
+    line.  This is the key the service's dataset registry and result
+    cache are organized around.
+    """
+    import numpy as np
+
+    digest = hashlib.sha256()
+    digest.update(repr(tuple(dataset.shape)).encode())
+    digest.update(np.packbits(dataset.data, axis=None).tobytes())
+    return digest.hexdigest()
+
+
+def dataset_to_payload(dataset: Dataset3D) -> dict:
+    """Serialize a dataset to the sparse JSON upload format.
+
+    The shape, the one-cell coordinate triples, and the axis labels —
+    the JSON twin of the sparse-triples text format, used by
+    ``POST /v1/datasets``.
+    """
+    import numpy as np
+
+    return {
+        "schema": 1,
+        "shape": list(dataset.shape),
+        "cells": [
+            [int(k), int(i), int(j)] for k, i, j in np.argwhere(dataset.data)
+        ],
+        "height_labels": list(dataset.height_labels),
+        "row_labels": list(dataset.row_labels),
+        "column_labels": list(dataset.column_labels),
+    }
+
+
+def dataset_from_payload(payload: dict) -> Dataset3D:
+    """Rebuild a dataset from :func:`dataset_to_payload` output.
+
+    Labels are optional — defaults apply when omitted.  Malformed
+    payloads raise :class:`DatasetFormatError`, same as the text
+    loaders.
+    """
+    try:
+        shape = tuple(int(s) for s in payload["shape"])
+        cells = [tuple(int(v) for v in cell) for cell in payload.get("cells", [])]
+    except (KeyError, TypeError, ValueError) as error:
+        raise DatasetFormatError(
+            f"malformed dataset payload: {error}"
+        ) from None
+    if len(shape) != 3 or any(s < 0 for s in shape):
+        raise DatasetFormatError(
+            f"dataset payload shape must be 3 non-negative sizes, got {shape!r}"
+        )
+    label_kwargs = {}
+    for key in ("height_labels", "row_labels", "column_labels"):
+        if payload.get(key) is not None:
+            label_kwargs[key] = [str(v) for v in payload[key]]
+    l, n, m = shape
+    seen: set[tuple[int, ...]] = set()
+    for cell in cells:
+        if len(cell) != 3:
+            raise DatasetFormatError(f"expected [k, i, j] cells, got {cell!r}")
+        k, i, j = cell
+        if not (0 <= k < l and 0 <= i < n and 0 <= j < m):
+            raise DatasetFormatError(
+                f"cell ({k},{i},{j}) outside {l}x{n}x{m}"
+            )
+        if cell in seen:
+            raise DatasetFormatError(f"duplicate cell ({k},{i},{j})")
+        seen.add(cell)
+    try:
+        return Dataset3D.from_cells(shape, cells, **label_kwargs)
+    except ValueError as error:
+        raise DatasetFormatError(str(error)) from None
 
 
 # ----------------------------------------------------------------------

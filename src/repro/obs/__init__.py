@@ -21,6 +21,8 @@ from .events import (
     SliceEvent,
     TaskFailed,
     TaskRetried,
+    event_from_dict,
+    event_to_dict,
     null_sink,
 )
 from .metrics import PRUNE_FIELDS, MiningMetrics
@@ -47,6 +49,8 @@ __all__ = [
     "EventSink",
     "CollectingSink",
     "null_sink",
+    "event_to_dict",
+    "event_from_dict",
     "MiningCancelled",
     "ProgressController",
     "ProgressUpdate",

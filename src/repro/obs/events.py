@@ -21,6 +21,9 @@ hot paths; with no sink attached nothing is ever constructed):
 
 :class:`CollectingSink` gathers events in memory for tests and
 analysis; :func:`null_sink` discards them (used by the overhead guard).
+Events also serialize to JSON lines (:func:`event_to_dict` /
+:func:`event_from_dict`) — the wire format of the service daemon's
+per-job event journal (:mod:`repro.service.jobs`).
 """
 
 from __future__ import annotations
@@ -41,6 +44,8 @@ __all__ = [
     "EventSink",
     "CollectingSink",
     "null_sink",
+    "event_to_dict",
+    "event_from_dict",
 ]
 
 
@@ -176,3 +181,55 @@ class CollectingSink:
 
 def null_sink(event: MiningEvent) -> None:
     """Discard the event — a no-op sink for overhead measurement."""
+
+
+# ----------------------------------------------------------------------
+# JSON-line serialization
+# ----------------------------------------------------------------------
+_EVENT_TYPES: dict[str, type] = {
+    cls.kind: cls  # type: ignore[attr-defined]
+    for cls in (
+        MineStart,
+        MineDone,
+        NodeEvent,
+        PruneEvent,
+        SliceEvent,
+        TaskFailed,
+        TaskRetried,
+        PoolRestarted,
+        CheckpointWritten,
+    )
+}
+
+
+def event_to_dict(event: MiningEvent) -> dict:
+    """Serialize one event to a JSON-ready dict.
+
+    The ``kind`` tag travels with the fields, so a stream of these
+    dicts (one JSON line per event) is self-describing and can be
+    rebuilt with :func:`event_from_dict`.  Tuple fields (shapes,
+    thresholds) become lists — JSON has no tuples — and are restored on
+    the way back.
+    """
+    payload = {"kind": event.kind}
+    for name, value in event._asdict().items():
+        payload[name] = list(value) if isinstance(value, tuple) else value
+    return payload
+
+
+def event_from_dict(payload: dict) -> MiningEvent:
+    """Rebuild a typed event from :func:`event_to_dict` output."""
+    kind = payload.get("kind")
+    try:
+        cls = _EVENT_TYPES[kind]
+    except KeyError:
+        raise ValueError(f"unknown event kind {kind!r}") from None
+    kwargs = {}
+    for field in cls.__annotations__:
+        if field not in payload:
+            continue
+        value = payload[field]
+        if isinstance(value, list):
+            value = tuple(value)
+        kwargs[field] = value
+    return cls(**kwargs)

@@ -21,7 +21,8 @@ instead of silently ignoring knobs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
+from enum import Enum
 from typing import ClassVar, Union
 
 from .cubeminer.cutter import HeightOrder
@@ -32,6 +33,9 @@ __all__ = [
     "ParallelOptions",
     "ReferenceOptions",
     "AlgorithmOptions",
+    "options_class_for",
+    "options_from_dict",
+    "options_to_dict",
 ]
 
 
@@ -173,3 +177,61 @@ class ReferenceOptions(_OptionsBase):
 AlgorithmOptions = Union[
     CubeMinerOptions, RSMOptions, ParallelOptions, ReferenceOptions
 ]
+
+_OPTION_CLASSES: tuple[type, ...] = (
+    CubeMinerOptions,
+    RSMOptions,
+    ParallelOptions,
+    ReferenceOptions,
+)
+
+
+def options_class_for(algorithm: str) -> type:
+    """The typed options class configuring ``algorithm``.
+
+    Covers the built-in option classes only; third-party algorithms
+    registered through :func:`repro.api.register_algorithm` carry their
+    own ``options_type`` on the registry spec.
+    """
+    for cls in _OPTION_CLASSES:
+        if algorithm in cls.algorithms:
+            return cls
+    raise ValueError(f"no built-in options class configures {algorithm!r}")
+
+
+def options_from_dict(algorithm: str, payload: dict | None) -> AlgorithmOptions:
+    """Build the typed options object for ``algorithm`` from a JSON dict.
+
+    This is the wire-to-dataclass step of the service API: a request's
+    ``options`` object (plain JSON — enum fields as their string values)
+    becomes the same frozen dataclass a library caller would construct.
+    Unknown keys raise :class:`ValueError` so typos fail loudly.
+    """
+    cls = options_class_for(algorithm)
+    payload = dict(payload or {})
+    known = {f.name: f for f in fields(cls)}
+    unknown = set(payload) - set(known)
+    if unknown:
+        raise ValueError(
+            f"unknown option key(s) {sorted(unknown)} for {cls.__name__} "
+            f"(algorithm {algorithm!r}); valid keys: {sorted(known)}"
+        )
+    kwargs = {}
+    for name, value in payload.items():
+        if name == "order" and not isinstance(value, HeightOrder):
+            value = HeightOrder(value)
+        kwargs[name] = value
+    return cls(**kwargs)
+
+
+def options_to_dict(options: AlgorithmOptions) -> dict:
+    """Render a typed options object as a JSON-ready dict.
+
+    The inverse of :func:`options_from_dict`: enum fields serialize to
+    their string values, everything else is already JSON-native.
+    """
+    payload = asdict(options)  # type: ignore[call-overload]
+    return {
+        name: value.value if isinstance(value, Enum) else value
+        for name, value in payload.items()
+    }

@@ -33,6 +33,7 @@ __all__ = [
     "CheckpointJournal",
     "run_fingerprint",
     "load_journal",
+    "journal_status",
 ]
 
 #: Version tag of the journal line schema.
@@ -105,6 +106,23 @@ def load_journal(
             else:
                 break
     return header, completed
+
+
+def journal_status(path: str | Path) -> dict:
+    """Cheap progress summary of a checkpoint journal.
+
+    Returns ``{"exists": bool, "n_chunks": int | None, "completed":
+    int, "algorithm": str | None}`` — how far a (possibly interrupted)
+    run got, without touching the cube payloads.  The service daemon
+    reports this as the resumable progress of a killed job.
+    """
+    header, completed = load_journal(path)
+    return {
+        "exists": header is not None,
+        "n_chunks": header.get("n_chunks") if header else None,
+        "completed": len(completed),
+        "algorithm": header.get("algorithm") if header else None,
+    }
 
 
 class CheckpointJournal:

@@ -1,0 +1,70 @@
+"""Mining-as-a-service: a persistent FCC mining daemon.
+
+The service layer turns the library into a long-running system serving
+repeat mining traffic:
+
+* :mod:`repro.service.registry` — datasets uploaded once, keyed by the
+  sha256 *content* fingerprint (:func:`repro.io.dataset_fingerprint`).
+* :mod:`repro.service.jobs` — a job queue running :func:`repro.mine`
+  in worker processes, streaming typed events/progress as JSON lines
+  and resuming interrupted parallel jobs from their checkpoint journal.
+* :mod:`repro.service.cache` — the threshold-lattice result cache:
+  threshold monotonicity means a result mined at loose thresholds
+  answers every element-wise tighter query by filtering, so repeat
+  queries become lookups instead of mines.
+* :mod:`repro.service.app` — the zero-dependency HTTP/JSON core
+  (:class:`ServiceApp`, a pure ``Request -> Response`` router) plus the
+  thin :class:`ThreadingHTTPServer` adapter.
+* :mod:`repro.service.client` — the typed client
+  (:class:`ServiceClient`), speaking the same schemas the server does.
+
+Quickstart::
+
+    # terminal 1
+    $ repro-fcc serve --data-dir /var/lib/repro --port 8765
+
+    # terminal 2 (or any python process)
+    from repro.service import ServiceClient
+    client = ServiceClient("http://127.0.0.1:8765")
+    fp = client.register_dataset(dataset)
+    job = client.submit(fp, Thresholds(2, 2, 2))
+    outcome = client.wait(job.id)
+    served = client.result(job.id)           # ServiceResult
+    served.result                            # a plain MiningResult
+
+See ``docs/service.md`` for endpoints, JSON schemas, cache semantics
+and the resume story.
+"""
+
+from .app import Request, Response, ServiceApp, serve
+from .cache import CacheAnswer, ThresholdLatticeCache
+from .client import ServiceClient, ServiceClientError, ServiceResult
+from .jobs import JobManager
+from .registry import DatasetEntry, DatasetRegistry
+from .schemas import (
+    JOB_STATUSES,
+    SCHEMA_VERSION,
+    JobRecord,
+    JobSpec,
+    ServiceError,
+)
+
+__all__ = [
+    "ServiceApp",
+    "Request",
+    "Response",
+    "serve",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceResult",
+    "JobManager",
+    "DatasetRegistry",
+    "DatasetEntry",
+    "ThresholdLatticeCache",
+    "CacheAnswer",
+    "JobSpec",
+    "JobRecord",
+    "JOB_STATUSES",
+    "SCHEMA_VERSION",
+    "ServiceError",
+]

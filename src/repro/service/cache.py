@@ -1,0 +1,215 @@
+"""The threshold-lattice result cache.
+
+Threshold monotonicity (Definition 3.3: all four FCC constraints are
+anti-monotone) gives the cache its shape: the FCC set mined at loose
+thresholds ``t`` contains, as a subset, the FCC set of every
+element-wise tighter ``t'`` — closedness is a property of the dataset
+alone, so tightening thresholds only *filters* the result, never
+changes a cube.  Completed results are therefore stored per
+``(dataset_fingerprint, algorithm)`` under their exact thresholds, and
+a query is answered whenever any stored entry *dominates* it
+(:meth:`Thresholds.dominates`): the stored cube list is filtered with
+:meth:`Cube.satisfies` and served with ``cache_hit`` / ``filtered_from``
+provenance in ``MiningStats.extra["cache"]``.
+
+Entries persist as :meth:`MiningResult.to_payload` JSON files under
+``<root>/<fp>/<algorithm>/<h>-<r>-<c>-<v>.json`` (atomic writes), so a
+restarted daemon reopens its whole cache by scanning the tree.  Hit /
+miss / filter counters are kept for ``/health`` and the service
+benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.constraints import Thresholds
+from ..core.result import MiningResult, MiningStats
+
+__all__ = ["CacheAnswer", "ThresholdLatticeCache"]
+
+
+@dataclass
+class CacheAnswer:
+    """One cache-served result with its provenance."""
+
+    #: The filtered result, thresholded at the *query* thresholds.
+    result: MiningResult
+    #: Thresholds the source entry was actually mined at.
+    filtered_from: Thresholds
+    #: True when the query matched a stored entry exactly (no filtering).
+    exact: bool
+    #: Cubes dropped by the threshold filter.
+    cubes_filtered: int
+
+
+def _key_name(thresholds: Thresholds) -> str:
+    return (
+        f"{thresholds.min_h}-{thresholds.min_r}-"
+        f"{thresholds.min_c}-{thresholds.min_volume}"
+    )
+
+
+class ThresholdLatticeCache:
+    """Persistent result cache ordered by threshold dominance."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        #: (fingerprint, algorithm) -> {thresholds: result-file path}
+        self._index: dict[tuple[str, str], dict[Thresholds, Path]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.filtered_served = 0
+        self._scan()
+
+    def _scan(self) -> None:
+        for path in sorted(self.root.glob("*/*/*.json")):
+            algorithm_dir = path.parent
+            fp = algorithm_dir.parent.name
+            algorithm = algorithm_dir.name
+            try:
+                h, r, c, v = (int(part) for part in path.stem.split("-"))
+                thresholds = Thresholds(h, r, c, min_volume=v)
+            except (ValueError, TypeError):
+                continue
+            self._index.setdefault((fp, algorithm), {})[thresholds] = path
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        fingerprint: str,
+        algorithm: str,
+        result: MiningResult,
+    ) -> None:
+        """Store one completed result under its exact thresholds.
+
+        Results without thresholds (never produced by the service) are
+        ignored rather than stored unkeyed.
+        """
+        if result.thresholds is None:
+            return
+        entry_dir = self.root / fingerprint / algorithm
+        entry_dir.mkdir(parents=True, exist_ok=True)
+        path = entry_dir / f"{_key_name(result.thresholds)}.json"
+        tmp = entry_dir / f".{path.name}.tmp"
+        tmp.write_text(json.dumps(result.to_payload()))
+        os.replace(tmp, path)
+        with self._lock:
+            self._index.setdefault((fingerprint, algorithm), {})[
+                result.thresholds
+            ] = path
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def lookup(
+        self,
+        fingerprint: str,
+        algorithm: str,
+        thresholds: Thresholds,
+    ) -> CacheAnswer | None:
+        """Answer a query from the lattice, or ``None`` on a miss.
+
+        Among all stored entries dominating the query, the tightest one
+        (largest threshold sum) is filtered — it holds the fewest
+        extraneous cubes.  An exact-threshold entry short-circuits with
+        no filtering at all.
+        """
+        with self._lock:
+            entries = dict(self._index.get((fingerprint, algorithm), {}))
+        best: tuple[Thresholds, Path] | None = None
+        for stored, path in entries.items():
+            if stored == thresholds:
+                best = (stored, path)
+                break
+            if stored.dominates(thresholds):
+                if best is None or self._tightness(stored) > self._tightness(
+                    best[0]
+                ):
+                    best = (stored, path)
+        if best is None:
+            with self._lock:
+                self.misses += 1
+            return None
+        stored_thresholds, path = best
+        try:
+            source = MiningResult.from_payload(json.loads(path.read_text()))
+        except (OSError, ValueError):
+            # A vanished or corrupt entry degrades to a miss, never an
+            # error: the caller simply mines fresh (and re-stores).
+            with self._lock:
+                self._index.get((fingerprint, algorithm), {}).pop(
+                    stored_thresholds, None
+                )
+                self.misses += 1
+            return None
+        exact = stored_thresholds == thresholds
+        kept = (
+            source.cubes
+            if exact
+            else [cube for cube in source.cubes if cube.satisfies(thresholds)]
+        )
+        cubes_filtered = len(source.cubes) - len(kept)
+        extra = {
+            "cache": {
+                "hit": True,
+                "exact": exact,
+                "filtered_from": stored_thresholds.to_dict(),
+                "cubes_scanned": len(source.cubes),
+                "cubes_kept": len(kept),
+                "cubes_filtered": cubes_filtered,
+            }
+        }
+        result = MiningResult(
+            cubes=kept,
+            algorithm=source.algorithm,
+            thresholds=thresholds,
+            dataset_shape=source.dataset_shape,
+            elapsed_seconds=0.0,
+            stats=MiningStats(metrics=source.stats.metrics, extra=extra),
+        )
+        with self._lock:
+            self.hits += 1
+            if not exact:
+                self.filtered_served += 1
+        return CacheAnswer(
+            result=result,
+            filtered_from=stored_thresholds,
+            exact=exact,
+            cubes_filtered=cubes_filtered,
+        )
+
+    @staticmethod
+    def _tightness(thresholds: Thresholds) -> tuple[int, int]:
+        return (
+            thresholds.min_h
+            + thresholds.min_r
+            + thresholds.min_c,
+            thresholds.min_volume,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot for ``/health`` and benchmarks."""
+        with self._lock:
+            entries = sum(len(v) for v in self._index.values())
+            return {
+                "entries": entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "filtered_served": self.filtered_served,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._index.values())

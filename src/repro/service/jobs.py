@@ -1,0 +1,564 @@
+"""The job queue: mining runs in worker processes, resumable on disk.
+
+Every job owns one directory under the manager's root::
+
+    jobs/<id>/job.json          daemon-owned lifecycle record (JobRecord)
+    jobs/<id>/task.json         worker manifest (spec + dataset path)
+    jobs/<id>/events.jsonl      worker-appended typed events + progress
+    jobs/<id>/checkpoint.jsonl  parallel chunk journal (when enabled)
+    jobs/<id>/result.json       MiningResult payload, written atomically
+    jobs/<id>/error.json        failure record, written atomically
+
+The split keeps exactly one writer per file: the daemon owns
+``job.json``, the worker owns everything it produces.  A daemon killed
+at any instant therefore leaves a consistent tree — on restart,
+:meth:`JobManager.recover` requeues every ``queued``/``running`` job,
+and a requeued parallel job re-enters :func:`repro.mine` with
+``resume=True`` on its journal, so chunks finished before the crash are
+replayed, not re-mined (``stats.extra["recovery"]["chunks_resumed"]``
+counts them).
+
+Workers stream :mod:`repro.obs` events as JSON lines
+(:func:`repro.obs.events.event_to_dict` plus ``progress`` snapshots);
+the per-node ``node``/``prune`` firehose is filtered out so the journal
+stays proportional to coarse work units, not tree size.  Jobs answered
+by the threshold-lattice cache never reach a worker at all: they are
+born ``done`` with ``cache_hit`` provenance.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+import threading
+import uuid
+from collections import deque
+from dataclasses import replace
+from pathlib import Path
+
+from ..core.dataset import Dataset3D
+from ..core.result import MiningResult
+from ..obs import event_to_dict
+from ..options import options_from_dict
+from ..parallel.checkpoint import journal_status
+from .cache import ThresholdLatticeCache
+from .registry import DatasetRegistry
+from .schemas import JobRecord, JobSpec, ServiceError
+
+__all__ = ["JobManager", "run_job_worker"]
+
+#: Event kinds too hot to journal (one line per tree node).
+_FIREHOSE_KINDS = frozenset({"node", "prune"})
+
+#: Algorithms whose jobs can checkpoint/resume chunk-by-chunk.
+_PARALLEL_ALGORITHMS = frozenset({"parallel-cubeminer", "parallel-rsm"})
+
+
+# ----------------------------------------------------------------------
+# Worker process entry point
+# ----------------------------------------------------------------------
+def run_job_worker(job_dir: str) -> int:
+    """Execute one job inside a worker process.
+
+    Reads the ``task.json`` manifest, mines, streams events, and writes
+    ``result.json`` or ``error.json``.  Module-level so it stays
+    importable under the ``spawn`` start method.
+    """
+    directory = Path(job_dir)
+    manifest = json.loads((directory / "task.json").read_text())
+    spec = JobSpec.from_dict(manifest["spec"])
+    events_path = directory / "events.jsonl"
+
+    with open(events_path, "a") as events:
+
+        def emit(payload: dict) -> None:
+            payload.setdefault("t", time.time())
+            events.write(json.dumps(payload) + "\n")
+            events.flush()
+
+        def on_event(event) -> None:
+            if event.kind in _FIREHOSE_KINDS:
+                return
+            emit(event_to_dict(event))
+
+        def on_progress(update) -> None:
+            emit(
+                {
+                    "kind": "progress",
+                    "phase": update.phase,
+                    "done": update.done,
+                    "total": update.total,
+                    "elapsed_seconds": update.elapsed_seconds,
+                }
+            )
+
+        try:
+            from ..api import mine
+            from ..obs import ProgressController
+
+            dataset = Dataset3D.load_npz(manifest["dataset_path"])
+            options = options_from_dict(spec.algorithm, spec.options)
+            checkpoint_path = manifest.get("checkpoint_path")
+            if checkpoint_path is not None:
+                options = replace(
+                    options,
+                    checkpoint_path=checkpoint_path,
+                    resume=Path(checkpoint_path).exists(),
+                )
+            result = mine(
+                dataset,
+                spec.thresholds,
+                algorithm=spec.algorithm,
+                options=options,
+                on_event=on_event,
+                progress=ProgressController(
+                    on_progress=on_progress, min_interval=0.2
+                ),
+            )
+        except Exception as error:  # noqa: BLE001 - one failure channel
+            tmp = directory / ".error.json.tmp"
+            tmp.write_text(
+                json.dumps({"error": f"{type(error).__name__}: {error}"})
+            )
+            os.replace(tmp, directory / "error.json")
+            emit({"kind": "job-failed", "error": f"{type(error).__name__}: {error}"})
+            return 1
+        tmp = directory / ".result.json.tmp"
+        tmp.write_text(json.dumps(result.to_payload()))
+        os.replace(tmp, directory / "result.json")
+        emit({"kind": "job-done", "n_cubes": len(result)})
+    return 0
+
+
+# ----------------------------------------------------------------------
+# The manager
+# ----------------------------------------------------------------------
+class JobManager:
+    """FIFO job queue over worker processes, persistent across restarts.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one subdirectory per job.
+    registry, cache:
+        The shared dataset registry and threshold-lattice result cache.
+    max_workers:
+        Concurrent worker processes (further jobs wait queued).
+    start_method:
+        ``multiprocessing`` start method for workers; ``spawn`` (the
+        default) keeps children clear of the daemon's server threads.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        registry: DatasetRegistry,
+        cache: ThresholdLatticeCache,
+        *,
+        max_workers: int = 2,
+        start_method: str = "spawn",
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.registry = registry
+        self.cache = cache
+        self.max_workers = int(max_workers)
+        self._mp = multiprocessing.get_context(start_method)
+        self._lock = threading.Condition()
+        self._records: dict[str, JobRecord] = {}
+        self._queue: deque[str] = deque()
+        self._procs: dict[str, multiprocessing.process.BaseProcess] = {}
+        self._closed = False
+        self.jobs_run = 0
+        self.recover()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-job-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _dir(self, job_id: str) -> Path:
+        return self.root / job_id
+
+    def _save(self, record: JobRecord) -> None:
+        directory = self._dir(record.id)
+        directory.mkdir(parents=True, exist_ok=True)
+        tmp = directory / ".job.json.tmp"
+        tmp.write_text(json.dumps(record.to_dict(), indent=2))
+        os.replace(tmp, directory / "job.json")
+
+    def recover(self) -> int:
+        """Reload persisted jobs; requeue interrupted ones.
+
+        Called at construction: ``done``/``failed``/``cancelled`` jobs
+        load as history, while ``queued`` and ``running`` jobs (the
+        daemon died under them) go back on the queue in creation order.
+        Returns the number of requeued jobs.
+        """
+        requeued = []
+        for job_json in sorted(self.root.glob("*/job.json")):
+            try:
+                record = JobRecord.from_dict(json.loads(job_json.read_text()))
+            except (ValueError, KeyError):
+                continue
+            if record.id != job_json.parent.name:
+                continue
+            self._records[record.id] = record
+            if record.status in ("queued", "running"):
+                result_path = job_json.parent / "result.json"
+                if record.status == "running" and result_path.exists():
+                    # The worker finished right as the old daemon died:
+                    # finalize instead of re-running.
+                    try:
+                        result = MiningResult.from_payload(
+                            json.loads(result_path.read_text())
+                        )
+                    except (ValueError, OSError):
+                        result = None
+                    if result is not None:
+                        record.status = "done"
+                        record.finished = time.time()
+                        record.n_cubes = len(result)
+                        self.cache.put(
+                            record.spec.dataset, record.spec.algorithm, result
+                        )
+                        self._save(record)
+                        continue
+                record.status = "queued"
+                self._save(record)
+                requeued.append(record)
+        requeued.sort(key=lambda r: r.created)
+        for record in requeued:
+            self._queue.append(record.id)
+        return len(requeued)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Queue one job — or answer it instantly from the cache."""
+        with self._lock:
+            if self._closed:
+                raise ServiceError(503, "shutting-down", "daemon is shutting down")
+        try:
+            spec.validate()
+        except ValueError as error:
+            raise ServiceError(400, "bad-spec", str(error)) from None
+        if spec.dataset not in self.registry:
+            raise ServiceError(
+                404,
+                "unknown-dataset",
+                f"dataset {spec.dataset!r} is not registered",
+            )
+        record = JobRecord(
+            id=uuid.uuid4().hex[:12],
+            spec=spec,
+            status="queued",
+            created=time.time(),
+        )
+        if spec.use_cache:
+            answer = self.cache.lookup(spec.dataset, spec.algorithm, spec.thresholds)
+            if answer is not None:
+                now = time.time()
+                record.status = "done"
+                record.started = now
+                record.finished = now
+                record.cache_hit = True
+                record.filtered_from = answer.filtered_from
+                record.n_cubes = len(answer.result)
+                directory = self._dir(record.id)
+                directory.mkdir(parents=True, exist_ok=True)
+                tmp = directory / ".result.json.tmp"
+                tmp.write_text(json.dumps(answer.result.to_payload()))
+                os.replace(tmp, directory / "result.json")
+                with open(directory / "events.jsonl", "a") as events:
+                    events.write(
+                        json.dumps(
+                            {
+                                "kind": "cache-hit",
+                                "t": now,
+                                "exact": answer.exact,
+                                "filtered_from": answer.filtered_from.to_dict(),
+                                "cubes_filtered": answer.cubes_filtered,
+                            }
+                        )
+                        + "\n"
+                    )
+                self._save(record)
+                with self._lock:
+                    self._records[record.id] = record
+                return record
+        self._save(record)
+        with self._lock:
+            self._records[record.id] = record
+            self._queue.append(record.id)
+            self._lock.notify_all()
+        return record
+
+    # ------------------------------------------------------------------
+    # Dispatch & supervision
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._closed and (
+                    not self._queue or len(self._procs) >= self.max_workers
+                ):
+                    self._lock.wait(timeout=0.5)
+                if self._closed:
+                    return
+                job_id = self._queue.popleft()
+                record = self._records[job_id]
+            self._start(record)
+
+    def _start(self, record: JobRecord) -> None:
+        directory = self._dir(record.id)
+        spec = record.spec
+        manifest = {
+            "spec": spec.to_dict(),
+            "dataset_path": str(self.registry.path(spec.dataset)),
+            "checkpoint_path": (
+                str(directory / "checkpoint.jsonl")
+                if spec.checkpoint and spec.algorithm in _PARALLEL_ALGORITHMS
+                else None
+            ),
+        }
+        tmp = directory / ".task.json.tmp"
+        tmp.write_text(json.dumps(manifest, indent=2))
+        os.replace(tmp, directory / "task.json")
+        record.status = "running"
+        record.started = time.time()
+        record.attempts += 1
+        self._save(record)
+        process = self._mp.Process(
+            target=run_job_worker, args=(str(directory),), daemon=False
+        )
+        process.start()
+        with self._lock:
+            self._procs[record.id] = process
+            self.jobs_run += 1
+        watcher = threading.Thread(
+            target=self._watch, args=(record.id, process), daemon=True
+        )
+        watcher.start()
+
+    def _watch(self, job_id: str, process) -> None:
+        process.join()
+        with self._lock:
+            self._procs.pop(job_id, None)
+            record = self._records.get(job_id)
+            closed = self._closed
+            self._lock.notify_all()
+        if record is None or closed:
+            # Shutdown path: leave the persisted status untouched so a
+            # restarted daemon requeues (and resumes) the job.
+            return
+        if record.status == "cancelled":
+            self._save(record)
+            return
+        directory = self._dir(job_id)
+        if (directory / "result.json").exists():
+            record.status = "done"
+            record.finished = time.time()
+            record.error = None
+            try:
+                result = MiningResult.from_payload(
+                    json.loads((directory / "result.json").read_text())
+                )
+                record.n_cubes = len(result)
+                self.cache.put(record.spec.dataset, record.spec.algorithm, result)
+            except (ValueError, OSError):
+                record.status = "failed"
+                record.error = "worker wrote an unreadable result payload"
+        else:
+            record.status = "failed"
+            record.finished = time.time()
+            error_path = directory / "error.json"
+            if error_path.exists():
+                try:
+                    record.error = json.loads(error_path.read_text()).get("error")
+                except ValueError:
+                    record.error = "worker failed (unreadable error record)"
+            else:
+                record.error = (
+                    f"worker exited with code {process.exitcode} "
+                    "without a result"
+                )
+        self._save(record)
+        with self._lock:
+            self._lock.notify_all()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> JobRecord:
+        """The job's current record, with live progress filled in."""
+        with self._lock:
+            record = self._records.get(job_id)
+        if record is None:
+            raise ServiceError(404, "unknown-job", f"no job {job_id!r}")
+        if record.status == "running":
+            record.progress = self._live_progress(job_id)
+        return record
+
+    def _live_progress(self, job_id: str) -> dict:
+        directory = self._dir(job_id)
+        progress: dict = {}
+        events_path = directory / "events.jsonl"
+        if events_path.exists():
+            last = None
+            try:
+                with open(events_path) as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if '"progress"' in line:
+                            last = line
+                if last:
+                    payload = json.loads(last)
+                    progress = {
+                        "phase": payload.get("phase"),
+                        "done": payload.get("done"),
+                        "total": payload.get("total"),
+                        "elapsed_seconds": payload.get("elapsed_seconds"),
+                    }
+            except (OSError, ValueError):
+                progress = {}
+        checkpoint = directory / "checkpoint.jsonl"
+        if checkpoint.exists():
+            status = journal_status(checkpoint)
+            if status["exists"]:
+                progress["chunks_completed"] = status["completed"]
+                progress["n_chunks"] = status["n_chunks"]
+        return progress
+
+    def list_jobs(self) -> list[JobRecord]:
+        """All known jobs, newest first."""
+        with self._lock:
+            records = list(self._records.values())
+        return sorted(records, key=lambda r: r.created, reverse=True)
+
+    def result_payload(self, job_id: str) -> dict:
+        """The stored result document of a finished job."""
+        record = self.get(job_id)
+        if record.status != "done":
+            raise ServiceError(
+                409,
+                "not-done",
+                f"job {job_id} is {record.status}, not done",
+            )
+        path = self._dir(job_id) / "result.json"
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            raise ServiceError(
+                500, "result-unreadable", f"result of job {job_id} is unreadable"
+            ) from None
+
+    def events(
+        self,
+        job_id: str,
+        *,
+        after: int = 0,
+        wait: float | None = None,
+        poll_interval: float = 0.05,
+    ) -> tuple[list[dict], int]:
+        """Journalled events past index ``after``; optional long-poll.
+
+        Returns ``(events, next_index)``.  With ``wait``, blocks up to
+        that many seconds for new lines (returning early the moment the
+        job reaches a terminal state with nothing new to say).
+        """
+        self.get(job_id)  # 404 on unknown ids
+        path = self._dir(job_id) / "events.jsonl"
+        deadline = None if wait is None else time.monotonic() + wait
+        while True:
+            lines: list[str] = []
+            if path.exists():
+                with open(path) as handle:
+                    lines = handle.read().splitlines()
+            if after < len(lines):
+                events = []
+                for line in lines[after:]:
+                    try:
+                        events.append(json.loads(line))
+                    except ValueError:
+                        continue  # torn tail line: caller re-polls
+                return events, len(lines)
+            record = self.get(job_id)
+            if deadline is None or record.terminal or time.monotonic() >= deadline:
+                return [], len(lines)
+            time.sleep(poll_interval)
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a queued or running job (terminal jobs are left alone)."""
+        record = self.get(job_id)
+        with self._lock:
+            if record.terminal:
+                return record
+            record.status = "cancelled"
+            record.finished = time.time()
+            if job_id in self._queue:
+                self._queue.remove(job_id)
+            process = self._procs.get(job_id)
+        if process is not None and process.is_alive():
+            process.terminate()
+        self._save(record)
+        return record
+
+    def counts(self) -> dict:
+        """Job totals by status, for ``/health``."""
+        with self._lock:
+            records = list(self._records.values())
+        out = {status: 0 for status in ("queued", "running", "done", "failed", "cancelled")}
+        for record in records:
+            out[record.status] = out.get(record.status, 0) + 1
+        out["jobs_run"] = self.jobs_run
+        return out
+
+    def shutdown(self) -> None:
+        """Stop dispatching and kill live workers.
+
+        Running jobs keep their persisted ``running`` status, so a new
+        manager over the same root requeues and resumes them — this is
+        the daemon-restart story, not data loss.
+        """
+        with self._lock:
+            self._closed = True
+            procs = dict(self._procs)
+            self._lock.notify_all()
+        for process in procs.values():
+            if process.is_alive():
+                process.terminate()
+        for process in procs.values():
+            process.join(timeout=5)
+        self._dispatcher.join(timeout=5)
+
+    def kill_workers(self) -> int:
+        """SIGKILL every live worker (crash simulation for tests).
+
+        Flags the manager closed first, exactly as if the daemon died
+        with its workers: the watcher threads must not finalize the
+        killed jobs as ``failed``, because their persisted ``running``
+        status is what restart recovery keys on.
+        """
+        with self._lock:
+            self._closed = True
+            procs = dict(self._procs)
+            self._lock.notify_all()
+        killed = 0
+        for process in procs.values():
+            if process.is_alive():
+                process.kill()
+                killed += 1
+        for process in procs.values():
+            process.join(timeout=5)
+        return killed

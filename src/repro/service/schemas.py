@@ -1,0 +1,190 @@
+"""Typed request/response schemas shared by the daemon and the client.
+
+Everything crossing the wire is a versioned JSON document built from
+(and parsed back into) the dataclasses here, so the server and the
+typed client cannot drift apart: :class:`JobSpec` is what ``POST
+/v1/jobs`` accepts, :class:`JobRecord` is what every job endpoint
+returns, and mining results travel as
+:meth:`repro.core.result.MiningResult.to_payload` documents — a service
+response and a library object are the same shape.
+
+:class:`ServiceError` is the one error channel: handlers raise it with
+an HTTP status and a stable machine-readable ``code``; the app renders
+it as ``{"error": {"code": ..., "message": ...}}`` and the client
+re-raises it as :class:`~repro.service.client.ServiceClientError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..api import get_algorithm
+from ..core.constraints import Thresholds
+from ..options import options_from_dict
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "JOB_STATUSES",
+    "ServiceError",
+    "JobSpec",
+    "JobRecord",
+]
+
+#: Version tag of every service JSON document.
+SCHEMA_VERSION = 1
+
+#: Lifecycle states of a job, in order of progression.  ``queued`` and
+#: ``running`` jobs survive a daemon restart (they are requeued and —
+#: for checkpointed parallel jobs — resume from their journal);
+#: ``done`` / ``failed`` / ``cancelled`` are terminal.
+JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled")
+
+
+class ServiceError(Exception):
+    """A request-level failure with an HTTP status and a stable code."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.code = code
+        self.message = message
+
+    def to_payload(self) -> dict:
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What a client asks for: one mining run over a registered dataset.
+
+    ``options`` stays a plain JSON dict here (validated against the
+    algorithm's typed options class at submit time via
+    :func:`repro.options.options_from_dict`); ``use_cache`` lets a
+    caller force a fresh mine past the threshold-lattice cache, and
+    ``checkpoint`` controls whether parallel jobs journal their chunks
+    for crash resume (on by default).
+    """
+
+    dataset: str
+    thresholds: Thresholds
+    algorithm: str = "cubeminer"
+    options: dict = field(default_factory=dict)
+    use_cache: bool = True
+    checkpoint: bool = True
+
+    def validate(self) -> None:
+        """Fail loudly on an unknown algorithm or malformed options."""
+        get_algorithm(self.algorithm)  # raises ValueError on unknown names
+        options_from_dict(self.algorithm, self.options)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "thresholds": self.thresholds.to_dict(),
+            "options": dict(self.options),
+            "use_cache": self.use_cache,
+            "checkpoint": self.checkpoint,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobSpec":
+        if not isinstance(payload, dict):
+            raise ValueError(f"job spec must be a JSON object, got {payload!r}")
+        dataset = payload.get("dataset")
+        if not isinstance(dataset, str) or not dataset:
+            raise ValueError("job spec needs a 'dataset' fingerprint string")
+        raw_thresholds = payload.get("thresholds")
+        if raw_thresholds is None:
+            raise ValueError("job spec needs 'thresholds'")
+        options = payload.get("options") or {}
+        if not isinstance(options, dict):
+            raise ValueError(f"'options' must be a JSON object, got {options!r}")
+        return cls(
+            dataset=dataset,
+            thresholds=Thresholds.from_dict(raw_thresholds),
+            algorithm=str(payload.get("algorithm", "cubeminer")),
+            options=dict(options),
+            use_cache=bool(payload.get("use_cache", True)),
+            checkpoint=bool(payload.get("checkpoint", True)),
+        )
+
+
+@dataclass
+class JobRecord:
+    """One job's full lifecycle state, as persisted and as served.
+
+    ``progress`` mirrors the latest
+    :class:`~repro.obs.progress.ProgressUpdate` streamed by the worker
+    (``{"phase", "done", "total", "elapsed_seconds"}``) plus — for
+    checkpointed parallel jobs — the journal's completed-chunk count.
+    ``cache_hit`` / ``filtered_from`` carry the provenance of a job
+    answered by the threshold-lattice cache instead of a fresh mine.
+    ``attempts`` counts daemon-side (re)starts: a job requeued after a
+    daemon restart shows ``attempts > 1``.
+    """
+
+    id: str
+    spec: JobSpec
+    status: str = "queued"
+    created: float = 0.0
+    started: float | None = None
+    finished: float | None = None
+    error: str | None = None
+    cache_hit: bool = False
+    filtered_from: Thresholds | None = None
+    n_cubes: int | None = None
+    attempts: int = 0
+    progress: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "id": self.id,
+            "spec": self.spec.to_dict(),
+            "status": self.status,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "error": self.error,
+            "cache_hit": self.cache_hit,
+            "filtered_from": (
+                self.filtered_from.to_dict()
+                if self.filtered_from is not None
+                else None
+            ),
+            "n_cubes": self.n_cubes,
+            "attempts": self.attempts,
+            "progress": dict(self.progress),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobRecord":
+        status = payload.get("status")
+        if status not in JOB_STATUSES:
+            raise ValueError(f"unknown job status {status!r}")
+        raw_filtered = payload.get("filtered_from")
+        return cls(
+            id=str(payload["id"]),
+            spec=JobSpec.from_dict(payload["spec"]),
+            status=status,
+            created=float(payload.get("created", 0.0)),
+            started=payload.get("started"),
+            finished=payload.get("finished"),
+            error=payload.get("error"),
+            cache_hit=bool(payload.get("cache_hit", False)),
+            filtered_from=(
+                Thresholds.from_dict(raw_filtered)
+                if raw_filtered is not None
+                else None
+            ),
+            n_cubes=payload.get("n_cubes"),
+            attempts=int(payload.get("attempts", 0)),
+            progress=dict(payload.get("progress") or {}),
+        )
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job can no longer change state."""
+        return self.status in ("done", "failed", "cancelled")

@@ -9,6 +9,7 @@ from repro.api import ALGORITHMS, mine
 from repro.core.constraints import Thresholds
 from repro.core.dataset import Dataset3D
 from repro.core.reference import reference_mine
+from repro.options import ParallelOptions, RSMOptions
 from tests.conftest import random_dataset
 
 
@@ -17,8 +18,14 @@ class TestDispatch:
     def test_every_algorithm_on_paper_example(
         self, paper_ds, paper_thresholds, algorithm
     ):
-        options = {"n_workers": 2} if algorithm.startswith("parallel") else {}
-        result = mine(paper_ds, paper_thresholds, algorithm=algorithm, **options)
+        options = (
+            ParallelOptions(n_workers=2)
+            if algorithm.startswith("parallel")
+            else None
+        )
+        result = mine(
+            paper_ds, paper_thresholds, algorithm=algorithm, options=options
+        )
         assert len(result) == 5
 
     def test_unknown_algorithm(self, paper_ds, paper_thresholds):
@@ -31,7 +38,10 @@ class TestDispatch:
 
     def test_options_forwarded(self, paper_ds, paper_thresholds):
         result = mine(
-            paper_ds, paper_thresholds, algorithm="rsm", base_axis="column"
+            paper_ds,
+            paper_thresholds,
+            algorithm="rsm",
+            options=RSMOptions(base_axis="column"),
         )
         assert result.algorithm.startswith("rsm-c")
 

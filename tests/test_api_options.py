@@ -77,16 +77,28 @@ class TestTypedOptions:
             CubeMinerOptions().order = HeightOrder.ORIGINAL
 
 
-class TestLegacyKwargs:
-    def test_legacy_kwargs_warn_but_work(self, paper_ds, paper_thresholds):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            result = mine(
+class TestLooseKwargsRemoved:
+    """The pre-2.0 loose-keyword channel is gone: typed options only."""
+
+    def test_loose_kwargs_raise_type_error(self, paper_ds, paper_thresholds):
+        with pytest.raises(TypeError):
+            mine(
                 paper_ds,
                 paper_thresholds,
                 algorithm="cubeminer",
                 order=HeightOrder.ORIGINAL,
             )
-        assert result.algorithm == "cubeminer[original]"
+
+    def test_loose_parallel_kwargs_raise_type_error(
+        self, paper_ds, paper_thresholds
+    ):
+        with pytest.raises(TypeError):
+            mine(
+                paper_ds,
+                paper_thresholds,
+                algorithm="parallel-cubeminer",
+                n_workers=2,
+            )
 
     def test_typed_options_do_not_warn(self, paper_ds, paper_thresholds, recwarn):
         mine(
@@ -95,17 +107,6 @@ class TestLegacyKwargs:
             options=CubeMinerOptions(order=HeightOrder.ORIGINAL),
         )
         assert not [w for w in recwarn if w.category is DeprecationWarning]
-
-    def test_conflicting_loose_and_typed_raise(self, paper_ds, paper_thresholds):
-        with pytest.raises(ValueError, match="order"), pytest.warns(
-            DeprecationWarning
-        ):
-            mine(
-                paper_ds,
-                paper_thresholds,
-                options=CubeMinerOptions(),
-                order=HeightOrder.ORIGINAL,
-            )
 
 
 class TestRegistry:
@@ -157,3 +158,37 @@ class TestRegistry:
             api._REGISTRY["cubeminer"] = spec
             api._refresh_names()
         assert "cubeminer" in api.ALGORITHMS
+
+
+class TestOptionsWireFormat:
+    """options_to_dict / options_from_dict are the JSON channel of 2.0."""
+
+    def test_round_trip_every_class(self):
+        from repro.options import options_from_dict, options_to_dict
+
+        cases = [
+            ("cubeminer", CubeMinerOptions(order=HeightOrder.ZERO_DECREASING)),
+            ("rsm", RSMOptions(base_axis="row", fcp_miner="dminer")),
+            ("parallel-cubeminer", ParallelOptions(n_workers=3, shards=2)),
+            ("reference", ReferenceOptions()),
+        ]
+        for algorithm, options in cases:
+            payload = options_to_dict(options)
+            assert options_from_dict(algorithm, payload) == options
+
+    def test_enum_serializes_as_string(self):
+        from repro.options import options_to_dict
+
+        payload = options_to_dict(CubeMinerOptions(order=HeightOrder.ORIGINAL))
+        assert payload["order"] == "original"
+
+    def test_unknown_key_rejected(self):
+        from repro.options import options_from_dict
+
+        with pytest.raises(ValueError, match="unknown option"):
+            options_from_dict("cubeminer", {"no_such_knob": 1})
+
+    def test_empty_payload_is_defaults(self):
+        from repro.options import options_from_dict
+
+        assert options_from_dict("rsm", {}) == RSMOptions()

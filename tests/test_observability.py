@@ -23,6 +23,7 @@ from tests.conftest import random_dataset
 from repro.api import mine
 from repro.core.constraints import Thresholds
 from repro.core.result import MiningResult, MiningStats
+from repro.options import ParallelOptions
 from repro.cubeminer import HeightOrder, cubeminer_mine, prune_counts, trace_tree
 from repro.obs import (
     CollectingSink,
@@ -198,7 +199,7 @@ class TestCancellation:
                 Thresholds(1, 1, 1),
                 algorithm="parallel-cubeminer",
                 deadline=0,
-                n_workers=2,
+                options=ParallelOptions(n_workers=2),
             )
         assert excinfo.value.partial is not None
         assert "n_tasks" in excinfo.value.partial.stats
@@ -221,7 +222,10 @@ class TestParallelAggregation:
         thresholds = Thresholds(1, 1, 1)
         seq = mine(dataset, thresholds, algorithm="cubeminer")
         par = mine(
-            dataset, thresholds, algorithm="parallel-cubeminer", n_workers=2
+            dataset,
+            thresholds,
+            algorithm="parallel-cubeminer",
+            options=ParallelOptions(n_workers=2),
         )
         assert set(par.cubes) == set(seq.cubes)
         # Expansion nodes + worker nodes == the sequential tree, exactly.
@@ -232,7 +236,12 @@ class TestParallelAggregation:
         rng = np.random.default_rng(5)
         dataset = random_dataset(rng, max_dim=6, density_range=(0.5, 0.7))
         thresholds = Thresholds(1, 1, 1)
-        par = mine(dataset, thresholds, algorithm="parallel-rsm", n_workers=2)
+        par = mine(
+            dataset,
+            thresholds,
+            algorithm="parallel-rsm",
+            options=ParallelOptions(n_workers=2),
+        )
         if par.stats["n_tasks"] > 1:
             assert par.stats["workers_merged"] > 0
         assert par.stats["rs_slices_mined"] == par.stats["n_tasks"]

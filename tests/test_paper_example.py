@@ -16,6 +16,7 @@ from repro.core.reference import reference_mine
 from repro.cubeminer.cutter import HeightOrder, build_cutters
 from repro.datasets import PAPER_EXAMPLE_FCCS, paper_example
 from repro.fcp import FCP_MINERS
+from repro.options import CubeMinerOptions, RSMOptions
 from repro.rsm.trace import trace_rsm
 
 
@@ -87,7 +88,9 @@ class TestFCCs:
     def test_cubeminer_every_order(
         self, paper_ds, paper_thresholds, expected_fccs, order
     ):
-        result = mine(paper_ds, paper_thresholds, order=order)
+        result = mine(
+            paper_ds, paper_thresholds, options=CubeMinerOptions(order=order)
+        )
         assert result.cube_set() == expected_fccs
 
     @pytest.mark.parametrize("base_axis", ["height", "row", "column", "auto"])
@@ -99,8 +102,7 @@ class TestFCCs:
             paper_ds,
             paper_thresholds,
             algorithm="rsm",
-            base_axis=base_axis,
-            fcp_miner=fcp_miner,
+            options=RSMOptions(base_axis=base_axis, fcp_miner=fcp_miner),
         )
         assert result.cube_set() == expected_fccs
 

@@ -1,0 +1,207 @@
+"""Property and unit tests for the threshold-lattice result cache.
+
+The load-bearing claim (Definition 3.3: every FCC constraint is
+anti-monotone, and closedness depends only on the dataset): filtering
+the result mined at loose thresholds down to element-wise tighter
+thresholds is *bit-identical* to mining fresh at the tighter
+thresholds.  The hypothesis property drives that across random
+datasets and random loose/tight threshold pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import mine
+from repro.core.constraints import Thresholds
+from repro.core.dataset import Dataset3D
+from repro.core.result import MiningResult
+from repro.io import dataset_fingerprint
+from repro.service import ThresholdLatticeCache
+
+
+def cube_set(result) -> set:
+    return {(c.heights, c.rows, c.columns) for c in result}
+
+
+# ----------------------------------------------------------------------
+# Thresholds.dominates / Cube.satisfies
+# ----------------------------------------------------------------------
+class TestDominates:
+    def test_equal_thresholds_dominate(self):
+        t = Thresholds(2, 3, 4, min_volume=5)
+        assert t.dominates(t)
+
+    def test_looser_dominates_tighter(self):
+        loose = Thresholds(1, 2, 2)
+        tight = Thresholds(2, 3, 3, min_volume=10)
+        assert loose.dominates(tight)
+        assert not tight.dominates(loose)
+
+    def test_incomparable_pair(self):
+        a = Thresholds(1, 5, 1)
+        b = Thresholds(5, 1, 1)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_min_volume_participates(self):
+        assert not Thresholds(1, 1, 1, min_volume=9).dominates(
+            Thresholds(1, 1, 1, min_volume=8)
+        )
+        assert Thresholds(1, 1, 1, min_volume=8).dominates(
+            Thresholds(1, 1, 1, min_volume=9)
+        )
+
+
+class TestSatisfies:
+    def test_satisfies_matches_support_arithmetic(self, paper_ds):
+        result = mine(paper_ds, Thresholds(1, 1, 1))
+        tight = Thresholds(2, 2, 3, min_volume=12)
+        for cube in result:
+            expected = (
+                cube.h_support >= 2
+                and cube.r_support >= 2
+                and cube.c_support >= 3
+                and cube.volume >= 12
+            )
+            assert cube.satisfies(tight) == expected
+
+
+# ----------------------------------------------------------------------
+# MiningResult JSON round trip
+# ----------------------------------------------------------------------
+class TestResultJson:
+    def test_round_trip(self, paper_ds, paper_thresholds):
+        result = mine(paper_ds, paper_thresholds)
+        clone = MiningResult.from_json(result.to_json())
+        assert cube_set(clone) == cube_set(result)
+        assert clone.algorithm == result.algorithm
+        assert clone.thresholds == result.thresholds
+        assert clone.dataset_shape == result.dataset_shape
+        assert clone.stats.to_dict() == result.stats.to_dict()
+
+    def test_schema_is_versioned(self, paper_ds, paper_thresholds):
+        result = mine(paper_ds, paper_thresholds)
+        payload = result.to_payload()
+        assert payload["schema"] == MiningResult.SCHEMA_VERSION
+        payload["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            MiningResult.from_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# The cache itself
+# ----------------------------------------------------------------------
+class TestLatticeCache:
+    def test_exact_hit_serves_unfiltered(self, tmp_path, paper_ds):
+        cache = ThresholdLatticeCache(tmp_path)
+        thresholds = Thresholds(2, 2, 2)
+        result = mine(paper_ds, thresholds)
+        fp = dataset_fingerprint(paper_ds)
+        cache.put(fp, "cubeminer", result)
+        answer = cache.lookup(fp, "cubeminer", thresholds)
+        assert answer is not None and answer.exact
+        assert answer.cubes_filtered == 0
+        assert cube_set(answer.result) == cube_set(result)
+
+    def test_dominated_query_filters(self, tmp_path, paper_ds):
+        cache = ThresholdLatticeCache(tmp_path)
+        loose = Thresholds(1, 1, 1)
+        cache.put(fp := dataset_fingerprint(paper_ds), "cubeminer", mine(paper_ds, loose))
+        tight = Thresholds(2, 2, 2)
+        answer = cache.lookup(fp, "cubeminer", tight)
+        assert answer is not None and not answer.exact
+        assert answer.filtered_from == loose
+        assert cube_set(answer.result) == cube_set(mine(paper_ds, tight))
+        provenance = answer.result.stats.extra["cache"]
+        assert provenance["hit"] and provenance["filtered_from"] == loose.to_dict()
+
+    def test_tighter_query_than_store_misses(self, tmp_path, paper_ds):
+        cache = ThresholdLatticeCache(tmp_path)
+        fp = dataset_fingerprint(paper_ds)
+        cache.put(fp, "cubeminer", mine(paper_ds, Thresholds(2, 2, 2)))
+        assert cache.lookup(fp, "cubeminer", Thresholds(1, 1, 1)) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_algorithms_are_separate_lattices(self, tmp_path, paper_ds):
+        cache = ThresholdLatticeCache(tmp_path)
+        fp = dataset_fingerprint(paper_ds)
+        cache.put(fp, "cubeminer", mine(paper_ds, Thresholds(1, 1, 1)))
+        assert cache.lookup(fp, "rsm", Thresholds(2, 2, 2)) is None
+
+    def test_persists_across_reopen(self, tmp_path, paper_ds):
+        fp = dataset_fingerprint(paper_ds)
+        ThresholdLatticeCache(tmp_path).put(
+            fp, "cubeminer", mine(paper_ds, Thresholds(1, 1, 1))
+        )
+        reopened = ThresholdLatticeCache(tmp_path)
+        assert len(reopened) == 1
+        answer = reopened.lookup(fp, "cubeminer", Thresholds(2, 2, 2))
+        assert answer is not None
+        assert cube_set(answer.result) == cube_set(mine(paper_ds, Thresholds(2, 2, 2)))
+
+    def test_tightest_dominating_entry_wins(self, tmp_path, paper_ds):
+        cache = ThresholdLatticeCache(tmp_path)
+        fp = dataset_fingerprint(paper_ds)
+        cache.put(fp, "cubeminer", mine(paper_ds, Thresholds(1, 1, 1)))
+        cache.put(fp, "cubeminer", mine(paper_ds, Thresholds(2, 2, 1)))
+        answer = cache.lookup(fp, "cubeminer", Thresholds(2, 2, 2))
+        assert answer is not None
+        assert answer.filtered_from == Thresholds(2, 2, 1)
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path, paper_ds):
+        cache = ThresholdLatticeCache(tmp_path)
+        fp = dataset_fingerprint(paper_ds)
+        cache.put(fp, "cubeminer", mine(paper_ds, Thresholds(1, 1, 1)))
+        for path in (tmp_path / fp / "cubeminer").glob("*.json"):
+            path.write_text("{not json")
+        assert cache.lookup(fp, "cubeminer", Thresholds(2, 2, 2)) is None
+        # The broken entry was evicted: a fresh put works again.
+        cache.put(fp, "cubeminer", mine(paper_ds, Thresholds(1, 1, 1)))
+        assert cache.lookup(fp, "cubeminer", Thresholds(2, 2, 2)) is not None
+
+
+# ----------------------------------------------------------------------
+# The monotonicity property itself
+# ----------------------------------------------------------------------
+@st.composite
+def dataset_and_threshold_pair(draw):
+    l = draw(st.integers(1, 4))
+    n = draw(st.integers(1, 6))
+    m = draw(st.integers(1, 6))
+    bits = draw(
+        st.lists(st.booleans(), min_size=l * n * m, max_size=l * n * m)
+    )
+    data = np.array(bits, dtype=bool).reshape((l, n, m))
+    loose = Thresholds(
+        draw(st.integers(1, 2)),
+        draw(st.integers(1, 2)),
+        draw(st.integers(1, 2)),
+        min_volume=draw(st.integers(1, 4)),
+    )
+    tight = Thresholds(
+        loose.min_h + draw(st.integers(0, 2)),
+        loose.min_r + draw(st.integers(0, 2)),
+        loose.min_c + draw(st.integers(0, 2)),
+        min_volume=loose.min_volume + draw(st.integers(0, 12)),
+    )
+    return Dataset3D(data), loose, tight
+
+
+@settings(max_examples=40, deadline=None)
+@given(dataset_and_threshold_pair())
+def test_filtered_cache_equals_fresh_mine(case):
+    """Filtering the loose result IS the tight result, bit for bit."""
+    dataset, loose, tight = case
+    assert loose.dominates(tight)
+    loose_result = mine(dataset, loose)
+    filtered = {
+        (c.heights, c.rows, c.columns)
+        for c in loose_result
+        if c.satisfies(tight)
+    }
+    fresh = mine(dataset, tight)
+    assert filtered == cube_set(fresh)

@@ -17,6 +17,7 @@ from repro.core.dataset import Dataset3D
 from repro.core.reference import reference_mine
 from repro.cubeminer import cubeminer_mine
 from repro.cubeminer.trace import PruneReason, trace_tree
+from repro.options import ParallelOptions
 from repro.rsm import append_height_slice, rsm_mine
 from tests.conftest import random_dataset
 
@@ -80,8 +81,13 @@ class TestMinerEquivalenceUnderVolume:
         ds = random_dataset(rng, max_dim=5)
         th = Thresholds(1, 1, 1, min_volume=6)
         ref = reference_mine(ds, th)
-        assert mine(ds, th, algorithm="parallel-cubeminer", n_workers=2).same_cubes(ref)
-        assert mine(ds, th, algorithm="parallel-rsm", n_workers=2).same_cubes(ref)
+        two_workers = ParallelOptions(n_workers=2)
+        assert mine(
+            ds, th, algorithm="parallel-cubeminer", options=two_workers
+        ).same_cubes(ref)
+        assert mine(
+            ds, th, algorithm="parallel-rsm", options=two_workers
+        ).same_cubes(ref)
 
     def test_volume_pruning_reduces_search(self):
         rng = np.random.default_rng(2)
