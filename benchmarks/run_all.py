@@ -36,6 +36,7 @@ from pathlib import Path
 import bench_ablation
 import bench_perf
 import bench_robustness
+import bench_stream
 import bench_fig2_ordering
 import bench_fig3_vary_minc
 import bench_fig4_vary_minh
@@ -55,6 +56,7 @@ MODULES = [
     bench_ablation,
     bench_robustness,
     bench_perf,
+    bench_stream,
 ]
 
 

@@ -16,6 +16,8 @@ Subcommands::
     repro-fcc serve     — run the persistent mining service daemon
     repro-fcc submit    — submit a mining job to a running daemon
     repro-fcc jobs      — list/inspect/cancel jobs on a daemon
+    repro-fcc update    — apply a delta batch: patch a local result
+                          incrementally, or POST to a daemon
 
 Every command prints human-readable text to stdout; ``mine`` exits 0
 even when no cube is found (an empty result is a valid answer).  The
@@ -169,6 +171,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="TCP port (0 picks an ephemeral one)")
     serve_cmd.add_argument("--max-workers", type=int, default=2,
                            help="concurrent mining worker processes")
+    serve_cmd.add_argument("--mmap", dest="mmap", action="store_true",
+                           help="hand workers memory-mapped packed grids "
+                                "(out-of-core mode: mines tensors larger "
+                                "than RAM)")
+    serve_cmd.add_argument("--in-memory", dest="mmap", action="store_false",
+                           help="load datasets fully into worker memory "
+                                "(the default)")
+    serve_cmd.set_defaults(mmap=False)
     serve_cmd.add_argument("--verbose", action="store_true",
                            help="log every request to stderr")
 
@@ -189,6 +199,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="return immediately with the job id")
     submit.add_argument("--show", type=int, default=10,
                         help="print at most this many cubes (0 = none)")
+
+    update_cmd = sub.add_parser(
+        "update",
+        help="apply a delta batch to a dataset (incremental maintenance)",
+        description="Apply a JSON delta batch.  Local mode (--input + "
+                    "--result) patches an existing mining result through "
+                    "the incremental maintainer — bit-identical to "
+                    "re-mining, without the re-mine.  Server mode "
+                    "(--dataset) POSTs the batch to a running daemon, "
+                    "which registers the successor dataset and patches "
+                    "its result cache forward.",
+    )
+    update_cmd.add_argument("--updates", required=True, metavar="FILE",
+                            help="JSON delta batch: a list of delta "
+                                 "objects, or {\"deltas\": [...]}")
+    update_cmd.add_argument("--input", default=None,
+                            help="local mode: base .npz dataset path")
+    update_cmd.add_argument("--result", default=None,
+                            help="local mode: base result JSON "
+                                 "(from mine --out-json)")
+    update_cmd.add_argument("--out", default=None,
+                            help="local mode: write the updated dataset "
+                                 "to this .npz path")
+    update_cmd.add_argument("--out-json", default=None,
+                            help="local mode: write the maintained "
+                                 "result as JSON")
+    update_cmd.add_argument("--show", type=int, default=10,
+                            help="print at most this many cubes (0 = none)")
+    update_cmd.add_argument("--server", default="http://127.0.0.1:8765")
+    update_cmd.add_argument("--dataset", default=None, metavar="FINGERPRINT",
+                            help="server mode: fingerprint of the "
+                                 "registered dataset to update")
 
     jobs_cmd = sub.add_parser(
         "jobs", help="list jobs on a daemon, or inspect/cancel one"
@@ -556,12 +598,18 @@ def _serve(args: argparse.Namespace) -> int:
     from .service import ServiceApp
     from .service import serve as bind_server
 
-    app = ServiceApp(args.data_dir, max_workers=args.max_workers)
+    app = ServiceApp(
+        args.data_dir,
+        max_workers=args.max_workers,
+        mmap_datasets=args.mmap,
+    )
     server = bind_server(app, args.host, args.port, verbose=args.verbose)
     host, port = server.server_address[:2]
+    mode = "mmap" if args.mmap else "in-memory"
     print(
         f"repro-fcc service on http://{host}:{port} "
-        f"(data: {args.data_dir}, workers: {args.max_workers})",
+        f"(data: {args.data_dir}, workers: {args.max_workers}, "
+        f"datasets: {mode})",
         flush=True,
     )
     try:
@@ -614,6 +662,103 @@ def _submit(args: argparse.Namespace) -> int:
         return 0
     except ServiceClientError as error:
         raise SystemExit(f"error: {error}")
+
+
+def _load_updates(path: str):
+    """Read a JSON delta batch; malformed content exits ``EXIT_DATA``."""
+    from .stream.delta import deltas_from_payload
+
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise SystemExit(f"error: updates file not found: {path}")
+    except ValueError as error:
+        print(f"error: {path}: not valid JSON ({error})", file=sys.stderr)
+        raise SystemExit(EXIT_DATA) from None
+    if isinstance(payload, dict):
+        payload = payload.get("deltas")
+    try:
+        deltas = deltas_from_payload(payload)
+    except (ValueError, KeyError, TypeError) as error:
+        print(f"error: {path}: not a delta batch ({error})", file=sys.stderr)
+        raise SystemExit(EXIT_DATA) from None
+    if not deltas:
+        print(f"error: {path}: empty delta batch", file=sys.stderr)
+        raise SystemExit(EXIT_DATA)
+    return deltas
+
+
+def _update(args: argparse.Namespace) -> int:
+    deltas = _load_updates(args.updates)
+    if args.dataset is not None:
+        from .service import ServiceClient, ServiceClientError
+
+        client = ServiceClient(args.server)
+        try:
+            doc = client.update_dataset(args.dataset, deltas)
+        except ServiceClientError as error:
+            raise SystemExit(f"error: {error}")
+        print(
+            f"dataset {doc['base'][:12]} -> {doc['fingerprint'][:12]} "
+            f"(shape {tuple(doc['shape'])}, {doc['deltas_applied']} delta(s), "
+            f"{doc['dirty_heights']} dirty height(s))"
+        )
+        for job in doc["jobs"]:
+            spec = job["spec"]
+            print(
+                f"  maintenance job {job['id']}  {spec['algorithm']} "
+                f"[{Thresholds.from_dict(spec['thresholds'])}]"
+            )
+        if not doc["jobs"]:
+            print("  no cached results to maintain")
+        return 0
+    if args.input is None or args.result is None:
+        print(
+            "error: update needs either --dataset (server mode) or "
+            "--input + --result (local mode)",
+            file=sys.stderr,
+        )
+        return 2
+    from .io import result_from_json, result_to_json
+    from .stream.maintain import maintain
+
+    dataset = _load(args.input)
+    try:
+        with open(args.result) as handle:
+            result = result_from_json(handle.read())
+    except FileNotFoundError:
+        raise SystemExit(f"error: result file not found: {args.result}")
+    except (ValueError, KeyError) as error:
+        print(f"error: {args.result}: not a readable result JSON ({error})",
+              file=sys.stderr)
+        raise SystemExit(EXIT_DATA) from None
+    try:
+        new_dataset, maintained = maintain(dataset, result, deltas)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(EXIT_DATA) from None
+    stream = maintained.stats.extra.get("stream", {})
+    print(maintained.summary())
+    print(
+        f"  {stream.get('deltas_applied', 0)} delta(s) applied, "
+        f"{stream.get('dirty_heights', 0)} dirty height(s), "
+        f"{stream.get('cubes_patched', 0)} cube(s) patched, "
+        f"{stream.get('subsets_remined', 0)} subset(s) re-mined"
+    )
+    if args.show:
+        for cube in list(maintained)[: args.show]:
+            print(" ", cube.format(new_dataset))
+        if len(maintained) > args.show:
+            print(f"  ... and {len(maintained) - args.show} more")
+    if args.out:
+        new_dataset.save_npz(args.out)
+        print(f"wrote updated dataset to {args.out}")
+    if args.out_json:
+        with open(args.out_json, "w") as handle:
+            handle.write(result_to_json(maintained, new_dataset))
+        print(f"wrote JSON to {args.out_json}")
+    return 0
 
 
 def _jobs(args: argparse.Namespace) -> int:
@@ -671,6 +816,7 @@ _HANDLERS = {
     "serve": _serve,
     "submit": _submit,
     "jobs": _jobs,
+    "update": _update,
 }
 
 

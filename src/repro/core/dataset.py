@@ -387,6 +387,7 @@ class Dataset3D:
         height_labels: Sequence[str] | None = None,
         row_labels: Sequence[str] | None = None,
         column_labels: Sequence[str] | None = None,
+        validate: bool = True,
     ) -> "Dataset3D":
         """Build a dataset over an ``(l, n, words)`` packed uint64 grid.
 
@@ -399,6 +400,10 @@ class Dataset3D:
         copy up front.  The grid is validated against ``shape``
         (:class:`~repro.core.kernels.PackedBufferError` on mismatch), so
         a corrupted buffer cannot silently yield garbage cubes.
+        ``validate=False`` skips only the stray-tail-bit scan — for
+        callers that already validated the buffer chunk-by-chunk (the
+        memory-mapped open path, where one whole-array scan would fault
+        every page in at once); dtype and shape are always checked.
         """
         l, n, m = (int(d) for d in shape)
         if min(l, n, m) < 0:
@@ -416,7 +421,7 @@ class Dataset3D:
                 f"for a dataset of shape {(l, n, m)}"
             )
         tail_bits = m % 64
-        if arr.size and tail_bits:
+        if validate and arr.size and tail_bits:
             allowed = np.uint64((1 << tail_bits) - 1)
             if (arr[..., -1] & ~allowed).any():
                 raise PackedBufferError(
@@ -500,6 +505,65 @@ class Dataset3D:
                 row_labels=[str(s) for s in archive["row_labels"]],
                 column_labels=[str(s) for s in archive["column_labels"]],
             )
+
+    @classmethod
+    def open_mmap(
+        cls,
+        path: str | Path,
+        shape: tuple[int, int, int],
+        *,
+        kernel: str | Kernel | None = None,
+        height_labels: Sequence[str] | None = None,
+        row_labels: Sequence[str] | None = None,
+        column_labels: Sequence[str] | None = None,
+    ) -> "Dataset3D":
+        """Open a packed ``(l, n, words)`` ``.npy`` grid memory-mapped.
+
+        The file must hold the canonical little-endian word layout of
+        :func:`repro.core.kernels.words_from_tensor` (what
+        :class:`repro.stream.MmapDatasetStore` writes).  On a
+        words-native kernel the mapping *becomes* the dataset's
+        ones-grid without copying: slices fault in from disk as the
+        miners touch them and can be dropped again
+        (:func:`repro.core.kernels.release_mapped_pages`), which is
+        what lets RSM mine tensors whose packed size exceeds RAM.
+        Other kernels unpack an in-memory tensor copy — correct, but
+        without the out-of-core benefit.
+
+        Validation runs height-slice by height-slice with the pages of
+        each slice released after checking, so opening never makes the
+        whole file resident at once.
+        """
+        from .kernels import release_mapped_pages
+
+        l, n, m = (int(d) for d in shape)
+        words = np.load(Path(path), mmap_mode="r", allow_pickle=False)
+        tail_bits = m % 64
+        prevalidated = False
+        if (
+            words.ndim == 3
+            and words.dtype == np.dtype("<u8")
+            and words.shape == (l, n, words_per_row(m))
+        ):
+            if words.size and tail_bits:
+                allowed = np.uint64((1 << tail_bits) - 1)
+                for k in range(l):
+                    stray = bool((words[k, :, -1] & ~allowed).any())
+                    release_mapped_pages(words)
+                    if stray:
+                        raise PackedBufferError(
+                            f"packed grid carries stray bits beyond column {m}"
+                        )
+            prevalidated = True
+        return cls.from_packed_grid(
+            words,
+            (l, n, m),
+            kernel=kernel,
+            height_labels=height_labels,
+            row_labels=row_labels,
+            column_labels=column_labels,
+            validate=not prevalidated,
+        )
 
     # ------------------------------------------------------------------
     # Pickling (parallel workers receive datasets through this)

@@ -30,6 +30,7 @@ import os
 from .base import (
     Kernel,
     PackedBufferError,
+    release_mapped_pages,
     tensor_from_words,
     words_from_tensor,
     words_per_row,
@@ -43,6 +44,7 @@ __all__ = [
     "words_per_row",
     "words_from_tensor",
     "tensor_from_words",
+    "release_mapped_pages",
     "PythonIntKernel",
     "NumpyKernel",
     "KERNEL_ENV_VAR",

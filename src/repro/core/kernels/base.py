@@ -42,6 +42,7 @@ __all__ = [
     "words_per_row",
     "words_from_tensor",
     "tensor_from_words",
+    "release_mapped_pages",
 ]
 
 #: Canonical packed-word dtype shared by every words-native structure:
@@ -90,6 +91,33 @@ def tensor_from_words(words_arr: np.ndarray, shape: tuple[int, int, int]) -> np.
     raw = np.ascontiguousarray(words_arr, dtype=WORD_DTYPE).view(np.uint8)
     bits = np.unpackbits(raw, axis=-1, bitorder="little", count=m)
     return bits.astype(bool)
+
+
+def release_mapped_pages(array: np.ndarray) -> bool:
+    """Drop the resident pages of a memory-mapped array (best effort).
+
+    Walks ``array``'s base chain to the underlying :class:`numpy.memmap`
+    (views created by slicing or ``setflags`` keep the mapping as their
+    base) and advises the kernel the pages are no longer needed.  The
+    data stays valid — the next access simply faults back in from disk —
+    so out-of-core scans can touch an arbitrarily large mapping while
+    keeping their resident set bounded to the pages between two release
+    calls.  Returns ``False`` (and changes nothing) when ``array`` is
+    not file-backed or the platform lacks ``madvise``.
+    """
+    import mmap as _mmap
+
+    node = array
+    while node is not None:
+        mapping = getattr(node, "_mmap", None)
+        if mapping is not None:
+            try:
+                mapping.madvise(_mmap.MADV_DONTNEED)
+            except (AttributeError, ValueError, OSError):
+                return False
+            return True
+        node = getattr(node, "base", None)
+    return False
 
 
 class Kernel(ABC):

@@ -85,6 +85,11 @@ class MiningMetrics:
     closure_cache_hits: int = 0
     closure_cache_misses: int = 0
     closure_cache_evictions: int = 0
+    # -- streaming / out-of-core (repro.stream) ------------------------
+    deltas_applied: int = 0
+    cubes_patched: int = 0
+    subsets_remined: int = 0
+    stream_chunks_read: int = 0
 
     # ------------------------------------------------------------------
     # Views

@@ -21,6 +21,10 @@ Endpoints (all JSON; see ``docs/service.md`` for full schemas)::
     GET  /v1/jobs/{id}/events        event journal; ?after=N&wait=S long-polls
     POST /v1/jobs/{id}/cancel        cancel a queued/running job
     POST /v1/query                   cache-only query (404 "cache-miss" on miss)
+    POST /v1/datasets/{fp}/updates   apply a delta batch (registers the
+                                     successor dataset, journals the
+                                     deltas, queues maintenance jobs
+                                     that patch the cache forward)
 
 Errors are ``{"error": {"code", "message"}}`` with a meaningful HTTP
 status; a :class:`~repro.service.schemas.ServiceError` raised anywhere
@@ -97,16 +101,23 @@ class ServiceApp:
         *,
         max_workers: int = 2,
         start_method: str = "spawn",
+        mmap_datasets: bool = False,
     ) -> None:
         self.data_dir = Path(data_dir)
         self.registry = DatasetRegistry(self.data_dir / "datasets")
         self.cache = ThresholdLatticeCache(self.data_dir / "cache")
+        self.mmap_store = None
+        if mmap_datasets:
+            from ..stream.store import MmapDatasetStore
+
+            self.mmap_store = MmapDatasetStore(self.data_dir / "mmap")
         self.jobs = JobManager(
             self.data_dir / "jobs",
             self.registry,
             self.cache,
             max_workers=max_workers,
             start_method=start_method,
+            mmap_store=self.mmap_store,
         )
         self.started = time.time()
         self._routes: list[tuple[str, re.Pattern, Callable]] = [
@@ -117,6 +128,11 @@ class ServiceApp:
                 "GET",
                 re.compile(r"^/v1/datasets/(?P<fp>[0-9a-f]{64})$"),
                 self._get_dataset,
+            ),
+            (
+                "POST",
+                re.compile(r"^/v1/datasets/(?P<fp>[0-9a-f]{64})/updates$"),
+                self._post_updates,
             ),
             ("POST", re.compile(r"^/v1/jobs$"), self._submit_job),
             ("GET", re.compile(r"^/v1/jobs$"), self._list_jobs),
@@ -209,6 +225,92 @@ class ServiceApp:
                 404, "unknown-dataset", f"dataset {fp!r} is not registered"
             ) from None
         return Response(200, {"schema": SCHEMA_VERSION, **entry.to_dict()})
+
+    def _post_updates(self, request: Request, fp: str) -> Response:
+        """Evolve a registered dataset through a delta batch.
+
+        The successor dataset is registered under its own fingerprint,
+        the batch is journalled in the per-base :class:`DeltaLog`, and
+        one incremental-maintenance job is queued for every cached
+        result of the base — so the threshold lattice follows the data
+        instead of being invalidated by it.
+        """
+        from ..stream.delta import (
+            DeltaLog,
+            apply_deltas,
+            deltas_from_payload,
+            deltas_to_payload,
+        )
+
+        if fp not in self.registry:
+            raise ServiceError(
+                404, "unknown-dataset", f"dataset {fp!r} is not registered"
+            )
+        payload = request.json()
+        raw_deltas = payload.get("deltas")
+        if not isinstance(raw_deltas, list) or not raw_deltas:
+            raise ServiceError(
+                400, "bad-deltas", "request needs a non-empty 'deltas' list"
+            )
+        try:
+            deltas = deltas_from_payload(raw_deltas)
+            base = self.registry.load(fp)
+            application = apply_deltas(base, deltas)
+        except ValueError as error:
+            raise ServiceError(400, "bad-deltas", str(error)) from None
+        entry = self.registry.register(application.dataset)
+        log = self._delta_log_for(fp, base.shape)
+        log.append(deltas, fingerprint=entry.fingerprint)
+        jobs = []
+        for algorithm, thresholds, _path in self.cache.entries(fp):
+            spec = JobSpec(
+                dataset=entry.fingerprint,
+                thresholds=thresholds,
+                algorithm=algorithm,
+                use_cache=False,
+                checkpoint=False,
+                maintain={"base": fp, "deltas": deltas_to_payload(deltas)},
+            )
+            jobs.append(self.jobs.submit(spec).to_dict())
+        return Response(
+            202,
+            {
+                "schema": SCHEMA_VERSION,
+                "base": fp,
+                "fingerprint": entry.fingerprint,
+                "shape": list(entry.shape),
+                "deltas_applied": application.n_deltas,
+                "dirty_heights": application.dirty_heights.bit_count(),
+                "jobs": jobs,
+            },
+        )
+
+    def _delta_log_for(self, fp: str, shape: tuple[int, int, int]):
+        """Pick the journal a batch applying to ``fp`` belongs to.
+
+        Each log file is a linear chain: batch *k* applies to the
+        tensor batch *k-1* produced.  A batch targeting ``fp``
+        therefore extends the log whose tip is ``fp`` when one exists;
+        otherwise it starts a new chain rooted at ``fp`` in a fresh
+        file, so divergent branches from the same base never share a
+        journal (which would break :meth:`DeltaLog.replay`).
+        """
+        from ..stream.delta import DeltaLog
+
+        root = self.data_dir / "deltas"
+        root.mkdir(parents=True, exist_ok=True)
+        for path in sorted(root.glob("*.jsonl")):
+            try:
+                log = DeltaLog.open(path)
+            except (ValueError, OSError):
+                continue
+            if log.tip_fingerprint() == fp:
+                return log
+        stem, counter = fp, 1
+        while (root / f"{stem}.jsonl").exists():
+            counter += 1
+            stem = f"{fp}.{counter}"
+        return DeltaLog.open(root / f"{stem}.jsonl", fingerprint=fp, shape=shape)
 
     def _submit_job(self, request: Request) -> Response:
         spec = JobSpec.from_dict(request.json())

@@ -187,6 +187,34 @@ class ThresholdLatticeCache:
             cubes_filtered=cubes_filtered,
         )
 
+    def entries(self, fingerprint: str) -> list[tuple[str, Thresholds, Path]]:
+        """Every stored ``(algorithm, thresholds, path)`` of one dataset.
+
+        This is the maintenance fan-out set: when a dataset evolves
+        through ``POST /v1/datasets/{fp}/updates``, each entry here
+        spawns one incremental-maintenance job whose output lands under
+        the successor fingerprint — the lattice is *patched forward*,
+        never dropped.
+        """
+        with self._lock:
+            out = [
+                (algorithm, thresholds, path)
+                for (fp, algorithm), stored in self._index.items()
+                if fp == fingerprint
+                for thresholds, path in stored.items()
+            ]
+        return sorted(out, key=lambda item: (item[0], _key_name(item[1])))
+
+    def entry_path(
+        self,
+        fingerprint: str,
+        algorithm: str,
+        thresholds: Thresholds,
+    ) -> Path | None:
+        """The stored file of one *exact* entry, or ``None``."""
+        with self._lock:
+            return self._index.get((fingerprint, algorithm), {}).get(thresholds)
+
     @staticmethod
     def _tightness(thresholds: Thresholds) -> tuple[int, int]:
         return (

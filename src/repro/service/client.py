@@ -129,6 +129,26 @@ class ServiceClient:
             self._request("GET", f"/v1/datasets/{fingerprint}")
         )
 
+    def update_dataset(self, fingerprint: str, deltas) -> dict:
+        """Apply a delta batch to a registered dataset.
+
+        ``deltas`` is a list of :mod:`repro.stream` delta objects (or
+        their JSON dict forms).  Returns the server's update document:
+        the successor dataset's ``fingerprint``/``shape`` and the
+        queued maintenance ``jobs`` patching the result cache forward.
+        """
+        from ..stream.delta import delta_to_dict
+
+        payload = [
+            delta if isinstance(delta, dict) else delta_to_dict(delta)
+            for delta in deltas
+        ]
+        return self._request(
+            "POST",
+            f"/v1/datasets/{fingerprint}/updates",
+            payload={"deltas": payload},
+        )
+
     # ------------------------------------------------------------------
     # Jobs
     # ------------------------------------------------------------------

@@ -98,25 +98,37 @@ def run_job_worker(job_dir: str) -> int:
             from ..api import mine
             from ..obs import ProgressController
 
-            dataset = Dataset3D.load_npz(manifest["dataset_path"])
-            options = options_from_dict(spec.algorithm, spec.options)
-            checkpoint_path = manifest.get("checkpoint_path")
-            if checkpoint_path is not None:
-                options = replace(
-                    options,
-                    checkpoint_path=checkpoint_path,
-                    resume=Path(checkpoint_path).exists(),
+            result = None
+            if manifest.get("maintain") is not None:
+                result = _run_maintenance(manifest, spec, emit)
+            if result is None:
+                mmap_manifest = manifest.get("mmap")
+                if mmap_manifest is not None:
+                    dataset = Dataset3D.open_mmap(
+                        mmap_manifest["path"],
+                        tuple(mmap_manifest["shape"]),
+                        kernel="numpy",
+                    )
+                else:
+                    dataset = Dataset3D.load_npz(manifest["dataset_path"])
+                options = options_from_dict(spec.algorithm, spec.options)
+                checkpoint_path = manifest.get("checkpoint_path")
+                if checkpoint_path is not None:
+                    options = replace(
+                        options,
+                        checkpoint_path=checkpoint_path,
+                        resume=Path(checkpoint_path).exists(),
+                    )
+                result = mine(
+                    dataset,
+                    spec.thresholds,
+                    algorithm=spec.algorithm,
+                    options=options,
+                    on_event=on_event,
+                    progress=ProgressController(
+                        on_progress=on_progress, min_interval=0.2
+                    ),
                 )
-            result = mine(
-                dataset,
-                spec.thresholds,
-                algorithm=spec.algorithm,
-                options=options,
-                on_event=on_event,
-                progress=ProgressController(
-                    on_progress=on_progress, min_interval=0.2
-                ),
-            )
         except Exception as error:  # noqa: BLE001 - one failure channel
             tmp = directory / ".error.json.tmp"
             tmp.write_text(
@@ -130,6 +142,56 @@ def run_job_worker(job_dir: str) -> int:
         os.replace(tmp, directory / "result.json")
         emit({"kind": "job-done", "n_cubes": len(result)})
     return 0
+
+
+def _run_maintenance(manifest: dict, spec: JobSpec, emit) -> "MiningResult | None":
+    """Patch the base dataset's cached result through the delta batch.
+
+    Returns ``None`` — telling the caller to mine fresh — whenever the
+    incremental path cannot be trusted: base dataset or base result
+    missing/unreadable, thresholds drifted, or the maintained dataset's
+    fingerprint disagreeing with the one the job was submitted for.
+    """
+    from ..io import dataset_fingerprint
+    from ..stream.delta import deltas_from_payload
+    from ..stream.maintain import maintain
+
+    maintenance = manifest["maintain"]
+    base_dataset_path = maintenance.get("base_dataset_path")
+    base_result_path = maintenance.get("base_result_path")
+    if not base_dataset_path or not base_result_path:
+        emit({"kind": "maintain-fallback", "reason": "base unavailable"})
+        return None
+    try:
+        base_dataset = Dataset3D.load_npz(base_dataset_path)
+        base_result = MiningResult.from_payload(
+            json.loads(Path(base_result_path).read_text())
+        )
+        deltas = deltas_from_payload(maintenance.get("deltas") or [])
+    except (OSError, ValueError) as error:
+        emit({"kind": "maintain-fallback", "reason": str(error)})
+        return None
+    if base_result.thresholds != spec.thresholds:
+        emit({"kind": "maintain-fallback", "reason": "threshold mismatch"})
+        return None
+    new_dataset, result = maintain(
+        base_dataset, base_result, deltas, spec.thresholds
+    )
+    fingerprint = dataset_fingerprint(new_dataset)
+    if fingerprint != spec.dataset:
+        # The delta batch does not lead from the recorded base to the
+        # dataset this job targets — a stale log, not a mining bug.
+        emit(
+            {
+                "kind": "maintain-fallback",
+                "reason": f"maintained fingerprint {fingerprint[:12]} "
+                f"!= target {spec.dataset[:12]}",
+            }
+        )
+        return None
+    stream_stats = result.stats.extra.get("stream", {})
+    emit({"kind": "maintain-done", **stream_stats})
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -149,6 +211,11 @@ class JobManager:
     start_method:
         ``multiprocessing`` start method for workers; ``spawn`` (the
         default) keeps children clear of the daemon's server threads.
+    mmap_store:
+        Optional :class:`~repro.stream.store.MmapDatasetStore`.  When
+        set, plain mining jobs hand workers a packed memory-mapped grid
+        (materialized into the store on first use) instead of an NPZ to
+        load whole — the daemon's out-of-core mode.
     """
 
     def __init__(
@@ -159,6 +226,7 @@ class JobManager:
         *,
         max_workers: int = 2,
         start_method: str = "spawn",
+        mmap_store=None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -166,6 +234,7 @@ class JobManager:
         self.root.mkdir(parents=True, exist_ok=True)
         self.registry = registry
         self.cache = cache
+        self.mmap_store = mmap_store
         self.max_workers = int(max_workers)
         self._mp = multiprocessing.get_context(start_method)
         self._lock = threading.Condition()
@@ -328,6 +397,8 @@ class JobManager:
                 if spec.checkpoint and spec.algorithm in _PARALLEL_ALGORITHMS
                 else None
             ),
+            "maintain": self._maintain_manifest(spec),
+            "mmap": self._mmap_manifest(spec),
         }
         tmp = directory / ".task.json.tmp"
         tmp.write_text(json.dumps(manifest, indent=2))
@@ -347,6 +418,42 @@ class JobManager:
             target=self._watch, args=(record.id, process), daemon=True
         )
         watcher.start()
+
+    def _maintain_manifest(self, spec: JobSpec) -> dict | None:
+        """Resolve a spec's ``maintain`` block into worker-local paths."""
+        if spec.maintain is None:
+            return None
+        base = str(spec.maintain.get("base", ""))
+        base_dataset_path = (
+            str(self.registry.path(base)) if base in self.registry else None
+        )
+        base_result_path = self.cache.entry_path(
+            base, spec.algorithm, spec.thresholds
+        )
+        return {
+            "base": base,
+            "deltas": list(spec.maintain.get("deltas") or []),
+            "base_dataset_path": base_dataset_path,
+            "base_result_path": (
+                str(base_result_path) if base_result_path is not None else None
+            ),
+        }
+
+    def _mmap_manifest(self, spec: JobSpec) -> dict | None:
+        """Materialize the job's dataset into the mmap store, if enabled.
+
+        Maintenance jobs patch from the base result and never scan the
+        full tensor, so they keep the NPZ path.
+        """
+        if self.mmap_store is None or spec.maintain is not None:
+            return None
+        if spec.dataset not in self.mmap_store:
+            self.mmap_store.put(self.registry.load(spec.dataset))
+        meta = self.mmap_store.meta(spec.dataset)
+        return {
+            "path": str(self.mmap_store.path(spec.dataset)),
+            "shape": list(meta["shape"]),
+        }
 
     def _watch(self, job_id: str, process) -> None:
         process.join()

@@ -63,6 +63,14 @@ class JobSpec:
     caller force a fresh mine past the threshold-lattice cache, and
     ``checkpoint`` controls whether parallel jobs journal their chunks
     for crash resume (on by default).
+
+    ``maintain`` turns the job into an *incremental maintenance* run:
+    ``{"base": <fingerprint>, "deltas": [...]}`` asks the worker to
+    patch the base dataset's cached result through
+    :func:`repro.stream.maintain` instead of mining ``dataset`` from
+    scratch (falling back to a fresh mine when the base result is
+    unavailable).  The field is omitted from the wire form when unset,
+    so pre-existing clients and persisted jobs parse unchanged.
     """
 
     dataset: str
@@ -71,14 +79,24 @@ class JobSpec:
     options: dict = field(default_factory=dict)
     use_cache: bool = True
     checkpoint: bool = True
+    maintain: dict | None = None
 
     def validate(self) -> None:
         """Fail loudly on an unknown algorithm or malformed options."""
         get_algorithm(self.algorithm)  # raises ValueError on unknown names
         options_from_dict(self.algorithm, self.options)
+        if self.maintain is not None:
+            if not isinstance(self.maintain, dict):
+                raise ValueError("'maintain' must be a JSON object")
+            base = self.maintain.get("base")
+            if not isinstance(base, str) or not base:
+                raise ValueError("'maintain' needs a 'base' fingerprint string")
+            from ..stream.delta import deltas_from_payload
+
+            deltas_from_payload(self.maintain.get("deltas") or [])
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "schema": SCHEMA_VERSION,
             "dataset": self.dataset,
             "algorithm": self.algorithm,
@@ -87,6 +105,9 @@ class JobSpec:
             "use_cache": self.use_cache,
             "checkpoint": self.checkpoint,
         }
+        if self.maintain is not None:
+            payload["maintain"] = dict(self.maintain)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "JobSpec":
@@ -101,6 +122,9 @@ class JobSpec:
         options = payload.get("options") or {}
         if not isinstance(options, dict):
             raise ValueError(f"'options' must be a JSON object, got {options!r}")
+        maintain = payload.get("maintain")
+        if maintain is not None and not isinstance(maintain, dict):
+            raise ValueError(f"'maintain' must be a JSON object, got {maintain!r}")
         return cls(
             dataset=dataset,
             thresholds=Thresholds.from_dict(raw_thresholds),
@@ -108,6 +132,7 @@ class JobSpec:
             options=dict(options),
             use_cache=bool(payload.get("use_cache", True)),
             checkpoint=bool(payload.get("checkpoint", True)),
+            maintain=dict(maintain) if maintain is not None else None,
         )
 
 

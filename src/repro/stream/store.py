@@ -1,0 +1,320 @@
+"""The memory-mapped dataset store (out-of-core backend).
+
+A store entry is two files under one root, keyed — like the service's
+:class:`~repro.service.registry.DatasetRegistry` — by the dataset's
+content fingerprint (:func:`repro.io.dataset_fingerprint`)::
+
+    <root>/<fp>.npy     packed (l, n, words) little-endian uint64 grid
+    <root>/<fp>.json    shape, labels, one-count, creation time
+
+The ``.npy`` holds the canonical word layout of
+:func:`repro.core.kernels.words_from_tensor`, so
+:meth:`MmapDatasetStore.open` hands it straight to
+:meth:`repro.core.dataset.Dataset3D.open_mmap`: on the numpy kernel the
+mapping *is* the dataset's ones-grid — no copy, pages fault in on
+demand — and :func:`repro.stream.outofcore.stream_mine` can mine a
+tensor whose packed size exceeds RAM.  Both files are written to a
+temporary name and renamed into place, so a crash mid-write never
+leaves a readable-but-wrong entry.
+
+Tensors too large to ever hold in memory enter through
+:class:`StreamingSliceWriter`: height slices stream into the mapping
+one at a time while the canonical content fingerprint accumulates on
+the fly, so even the *writer* never holds more than one slice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+
+import numpy as np
+
+from ..core.dataset import Dataset3D
+from ..core.kernels import (
+    Kernel,
+    release_mapped_pages,
+    words_from_tensor,
+    words_per_row,
+)
+from ..core.kernels.base import WORD_DTYPE
+from ..io import dataset_fingerprint
+
+__all__ = ["MmapDatasetStore", "StreamingSliceWriter"]
+
+#: Version tag of the ``.json`` sidecar schema.
+META_VERSION = 1
+
+
+class _FingerprintStream:
+    """Streaming twin of :func:`repro.io.dataset_fingerprint`.
+
+    The canonical fingerprint packs the *flattened* boolean tensor
+    (C order, big-endian bit order, byte-padded only at the very end),
+    so feeding it slice-by-slice needs a bit carry: a chunk whose bit
+    count is not a multiple of 8 leaves up to 7 bits for the next
+    chunk's first byte.
+    """
+
+    def __init__(self, shape: tuple[int, int, int]) -> None:
+        self._digest = hashlib.sha256()
+        self._digest.update(repr(tuple(int(d) for d in shape)).encode())
+        self._carry = np.zeros(0, dtype=np.uint8)
+        self._done = False
+
+    #: Cells absorbed per packbits round — bounds the temporaries so a
+    #: whole height slice is never duplicated just to hash it.
+    _STEP = 1 << 23
+
+    def update(self, bits: np.ndarray) -> None:
+        """Absorb the next chunk of cell values (any shape, C order)."""
+        if self._done:
+            raise RuntimeError("fingerprint stream already finalized")
+        flat = np.asarray(bits, dtype=bool).reshape(-1).view(np.uint8)
+        for pos in range(0, len(flat), self._STEP):
+            chunk = flat[pos : pos + self._STEP]
+            if len(self._carry):
+                chunk = np.concatenate([self._carry, chunk])
+            whole = (len(chunk) // 8) * 8
+            if whole:
+                self._digest.update(np.packbits(chunk[:whole]).tobytes())
+            # Copy so the carry never pins the chunk (or the caller's
+            # slice buffer) alive between updates.
+            self._carry = chunk[whole:].copy()
+
+    def hexdigest(self) -> str:
+        """Finalize (padding the trailing partial byte) and return."""
+        if not self._done:
+            if len(self._carry):
+                self._digest.update(np.packbits(self._carry).tobytes())
+                self._carry = np.zeros(0, dtype=np.uint8)
+            self._done = True
+        return self._digest.hexdigest()
+
+
+class MmapDatasetStore:
+    """Content-addressed store of packed, memory-mappable datasets."""
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path(self, fingerprint: str) -> Path:
+        """Where the packed grid of ``fingerprint`` lives."""
+        return self.root / f"{fingerprint}.npy"
+
+    def meta_path(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(self, dataset: Dataset3D) -> str:
+        """Store an in-memory dataset; returns its fingerprint.
+
+        Re-storing the same content is a no-op (content addressing).
+        For tensors too large to materialize, use :meth:`writer`.
+        """
+        fingerprint = dataset_fingerprint(dataset)
+        if fingerprint in self:
+            return fingerprint
+        words = words_from_tensor(np.asarray(dataset.data, dtype=bool))
+        tmp = self.root / f".{fingerprint}.tmp.npy"
+        np.save(tmp, words)
+        os.replace(tmp, self.path(fingerprint))
+        self._write_meta(
+            fingerprint,
+            dataset.shape,
+            int(np.asarray(dataset.data).sum()),
+            dataset.height_labels,
+            dataset.row_labels,
+            dataset.column_labels,
+        )
+        return fingerprint
+
+    def _write_meta(
+        self,
+        fingerprint: str,
+        shape: tuple[int, int, int],
+        n_ones: int,
+        height_labels,
+        row_labels,
+        column_labels,
+    ) -> None:
+        meta = {
+            "schema": META_VERSION,
+            "fingerprint": fingerprint,
+            "shape": [int(d) for d in shape],
+            "n_ones": int(n_ones),
+            "height_labels": [str(s) for s in height_labels],
+            "row_labels": [str(s) for s in row_labels],
+            "column_labels": [str(s) for s in column_labels],
+            "created": time.time(),
+        }
+        tmp = self.root / f".{fingerprint}.tmp.json"
+        tmp.write_text(json.dumps(meta, indent=2))
+        os.replace(tmp, self.meta_path(fingerprint))
+
+    def writer(
+        self,
+        shape: tuple[int, int, int],
+        *,
+        height_labels=None,
+        row_labels=None,
+        column_labels=None,
+    ) -> "StreamingSliceWriter":
+        """Open a :class:`StreamingSliceWriter` filling a new entry."""
+        return StreamingSliceWriter(
+            self,
+            shape,
+            height_labels=height_labels,
+            row_labels=row_labels,
+            column_labels=column_labels,
+        )
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def meta(self, fingerprint: str) -> dict:
+        """The sidecar metadata of one entry (:class:`KeyError` if absent)."""
+        path = self.meta_path(fingerprint)
+        if not path.exists():
+            raise KeyError(f"no stored dataset {fingerprint!r}")
+        return json.loads(path.read_text())
+
+    def open(
+        self, fingerprint: str, *, kernel: "str | Kernel | None" = None
+    ) -> Dataset3D:
+        """Open one entry as a memory-mapped dataset."""
+        meta = self.meta(fingerprint)
+        return Dataset3D.open_mmap(
+            self.path(fingerprint),
+            tuple(meta["shape"]),
+            kernel=kernel,
+            height_labels=meta.get("height_labels"),
+            row_labels=meta.get("row_labels"),
+            column_labels=meta.get("column_labels"),
+        )
+
+    def list(self) -> list[str]:
+        """Fingerprints of every complete entry, sorted."""
+        out = []
+        for meta_path in sorted(self.root.glob("*.json")):
+            if meta_path.name.startswith("."):
+                continue
+            fingerprint = meta_path.stem
+            if self.path(fingerprint).exists():
+                out.append(fingerprint)
+        return out
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return (
+            self.path(fingerprint).exists() and self.meta_path(fingerprint).exists()
+        )
+
+    def __len__(self) -> int:
+        return len(self.list())
+
+
+class StreamingSliceWriter:
+    """Build one store entry height-slice by height-slice.
+
+    The packed grid streams into a temporary memory-mapped ``.npy``
+    (pages released as slices land, so resident memory stays one slice
+    deep) while the canonical content fingerprint accumulates through
+    :class:`_FingerprintStream`.  :meth:`seal` renames the finished
+    file under the fingerprint it computed — until then the store never
+    shows a partial entry.  Usable as a context manager; leaving the
+    block without sealing aborts and removes the temporary file.
+    """
+
+    def __init__(
+        self,
+        store: MmapDatasetStore,
+        shape: tuple[int, int, int],
+        *,
+        height_labels=None,
+        row_labels=None,
+        column_labels=None,
+    ) -> None:
+        l, n, m = (int(d) for d in shape)
+        if min(l, n, m) < 1:
+            raise ValueError(f"streamed dataset shape {shape!r} must be positive")
+        self.store = store
+        self.shape = (l, n, m)
+        self._labels = (height_labels, row_labels, column_labels)
+        self._tmp = store.root / f".stream-{uuid.uuid4().hex}.tmp.npy"
+        self._grid = np.lib.format.open_memmap(
+            self._tmp, mode="w+", dtype=WORD_DTYPE, shape=(l, n, words_per_row(m))
+        )
+        self._fingerprint = _FingerprintStream(self.shape)
+        self._next = 0
+        self._n_ones = 0
+
+    @property
+    def slices_written(self) -> int:
+        return self._next
+
+    def append_slice(self, values) -> None:
+        """Write the next height slice (an ``(n_rows, n_columns)`` 0/1 array)."""
+        if self._grid is None:
+            raise RuntimeError("writer is sealed or aborted")
+        l, n, m = self.shape
+        if self._next >= l:
+            raise ValueError(f"all {l} height slices already written")
+        arr = np.asarray(values)
+        if arr.shape != (n, m):
+            raise ValueError(
+                f"height slice has shape {arr.shape}, expected {(n, m)}"
+            )
+        arr = arr.astype(bool, copy=False)
+        self._grid[self._next] = words_from_tensor(arr[None])[0]
+        release_mapped_pages(self._grid)
+        self._fingerprint.update(arr)
+        self._n_ones += int(arr.sum())
+        self._next += 1
+
+    def seal(self) -> str:
+        """Flush, fingerprint, rename into the store; returns the fingerprint."""
+        if self._grid is None:
+            raise RuntimeError("writer is sealed or aborted")
+        l = self.shape[0]
+        if self._next != l:
+            raise ValueError(
+                f"only {self._next} of {l} height slices written"
+            )
+        self._grid.flush()
+        self._grid = None
+        fingerprint = self._fingerprint.hexdigest()
+        os.replace(self._tmp, self.store.path(fingerprint))
+        self.store._write_meta(
+            fingerprint,
+            self.shape,
+            self._n_ones,
+            self._labels[0] or [f"h{i + 1}" for i in range(self.shape[0])],
+            self._labels[1] or [f"r{i + 1}" for i in range(self.shape[1])],
+            self._labels[2] or [f"c{i + 1}" for i in range(self.shape[2])],
+        )
+        return fingerprint
+
+    def abort(self) -> None:
+        """Drop the partial entry (idempotent)."""
+        self._grid = None
+        try:
+            os.unlink(self._tmp)
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "StreamingSliceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._grid is not None:
+            self.abort()

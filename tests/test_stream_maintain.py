@@ -1,0 +1,202 @@
+"""The incremental maintainer must be bit-identical to a fresh mine.
+
+The hypothesis differential below is the subsystem's load-bearing
+guarantee: for arbitrary small tensors and arbitrary *valid* delta
+sequences — cell flips plus slice appends/drops on every axis —
+patching the old result through :func:`repro.stream.maintain` yields
+exactly the cube list a fresh RSM mine of the edited tensor returns,
+on both kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import mine
+from repro.core.constraints import Thresholds
+from repro.core.dataset import Dataset3D
+from repro.obs.metrics import MiningMetrics
+from repro.stream import (
+    AppendSlice,
+    ClearCell,
+    DropSlice,
+    IncrementalMaintainer,
+    SetCell,
+    maintain,
+)
+
+KERNELS = ("python-int", "numpy")
+
+
+def _keys(result):
+    return [(c.heights, c.rows, c.columns) for c in result.cubes]
+
+
+# ----------------------------------------------------------------------
+# Strategies: delta sequences valid against the evolving shape
+# ----------------------------------------------------------------------
+@st.composite
+def tensor_and_deltas(draw, max_dim: int = 4, max_deltas: int = 4):
+    l = draw(st.integers(2, max_dim))
+    n = draw(st.integers(2, max_dim))
+    m = draw(st.integers(2, max_dim))
+    cells = draw(
+        st.lists(st.booleans(), min_size=l * n * m, max_size=l * n * m)
+    )
+    tensor = np.array(cells, dtype=bool).reshape(l, n, m)
+
+    shape = [l, n, m]
+    deltas = []
+    for _ in range(draw(st.integers(1, max_deltas))):
+        kind = draw(st.sampled_from(("set", "clear", "append", "drop")))
+        axis = draw(st.integers(0, 2))
+        if kind in ("set", "clear"):
+            coords = [draw(st.integers(0, shape[a] - 1)) for a in range(3)]
+            cls = SetCell if kind == "set" else ClearCell
+            deltas.append(cls(*coords))
+        elif kind == "append":
+            rest = tuple(d for a, d in enumerate(shape) if a != axis)
+            count = rest[0] * rest[1]
+            bits = draw(
+                st.lists(st.booleans(), min_size=count, max_size=count)
+            )
+            values = np.array(bits, dtype=int).reshape(rest)
+            deltas.append(AppendSlice(axis, values))
+            shape[axis] += 1
+        else:
+            if shape[axis] == 1:
+                continue  # never drop the last slice
+            deltas.append(DropSlice(axis, draw(st.integers(0, shape[axis] - 1))))
+            shape[axis] -= 1
+    return Dataset3D(tensor), deltas
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=tensor_and_deltas())
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_maintain_equals_fresh_mine(kernel, data):
+    dataset, deltas = data
+    dataset = dataset.with_kernel(kernel)
+    thresholds = Thresholds(2, 2, 2)
+    base = mine(dataset, thresholds, algorithm="rsm")
+    new_dataset, maintained = maintain(dataset, base, deltas, thresholds)
+    fresh = mine(new_dataset, thresholds, algorithm="rsm")
+    assert _keys(maintained) == _keys(fresh)
+    assert maintained.thresholds == thresholds
+    assert maintained.dataset_shape == new_dataset.shape
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=tensor_and_deltas(max_deltas=3))
+def test_maintain_with_volume_constraint(data):
+    dataset, deltas = data
+    thresholds = Thresholds(1, 2, 1, min_volume=4)
+    base = mine(dataset, thresholds, algorithm="rsm")
+    new_dataset, maintained = maintain(dataset, base, deltas, thresholds)
+    fresh = mine(new_dataset, thresholds, algorithm="rsm")
+    assert _keys(maintained) == _keys(fresh)
+
+
+# ----------------------------------------------------------------------
+# Directed cases
+# ----------------------------------------------------------------------
+def planted() -> Dataset3D:
+    rng = np.random.default_rng(11)
+    data = rng.random((4, 8, 10)) < 0.35
+    data[:3, 1:5, 2:7] = True
+    return Dataset3D(data)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_single_cell_edit_each_axis_slice(kernel):
+    ds = planted().with_kernel(kernel)
+    th = Thresholds(2, 2, 2)
+    base = mine(ds, th, algorithm="rsm")
+    for delta in (SetCell(0, 0, 0), ClearCell(1, 2, 3), SetCell(3, 7, 9)):
+        new_ds, maintained = maintain(ds, base, [delta], th)
+        assert _keys(maintained) == _keys(mine(new_ds, th, algorithm="rsm"))
+
+
+@pytest.mark.parametrize("axis", ("height", "row", "column"))
+def test_append_then_drop_on_every_axis(axis):
+    ds = planted()
+    th = Thresholds(2, 2, 2)
+    base = mine(ds, th, algorithm="rsm")
+    rest = tuple(
+        d
+        for a, d in enumerate(ds.shape)
+        if a != ("height", "row", "column").index(axis)
+    )
+    deltas = [
+        AppendSlice(axis, np.ones(rest, dtype=int)),
+        DropSlice(axis, 0),
+    ]
+    new_ds, maintained = maintain(ds, base, deltas, th)
+    assert _keys(maintained) == _keys(mine(new_ds, th, algorithm="rsm"))
+
+
+def test_maintainer_carries_state_across_batches():
+    ds = planted()
+    th = Thresholds(2, 2, 2)
+    maintainer = IncrementalMaintainer(ds, mine(ds, th, algorithm="rsm"), th)
+    batches = [
+        [SetCell(0, 0, 0)],
+        [AppendSlice("height", np.zeros((8, 10), dtype=int))],
+        [DropSlice("row", 3), ClearCell(0, 0, 5)],
+    ]
+    for batch in batches:
+        maintained = maintainer.apply(batch)
+        fresh = mine(maintainer.dataset, th, algorithm="rsm")
+        assert _keys(maintained) == _keys(fresh)
+    assert maintainer.result is maintained
+
+
+def test_thresholds_default_from_base_result():
+    ds = planted()
+    th = Thresholds(2, 2, 2)
+    base = mine(ds, th, algorithm="rsm")
+    _, maintained = maintain(ds, base, [SetCell(0, 0, 0)])
+    assert maintained.thresholds == th
+
+
+def test_metrics_counters_and_stream_extra():
+    ds = planted()
+    th = Thresholds(2, 2, 2)
+    base = mine(ds, th, algorithm="rsm")
+    metrics = MiningMetrics()
+    _, maintained = maintain(
+        ds, base, [SetCell(0, 0, 0)], th, metrics=metrics
+    )
+    assert metrics.deltas_applied == 1
+    assert metrics.cubes_patched >= 1
+    assert metrics.subsets_remined >= 1
+    stream = maintained.stats.extra["stream"]
+    assert stream["deltas_applied"] == 1
+    assert stream["dirty_heights"] == 1
+    assert stream["cubes_patched"] == metrics.cubes_patched
+    assert stream["subsets_remined"] == metrics.subsets_remined
+    # Counters survive the serialization round-trip.
+    restored = MiningMetrics.from_dict(metrics.to_dict())
+    assert restored.deltas_applied == 1
+
+
+def test_algorithm_tag_does_not_nest():
+    ds = planted()
+    th = Thresholds(2, 2, 2)
+    maintainer = IncrementalMaintainer(ds, mine(ds, th, algorithm="rsm"), th)
+    maintainer.apply([SetCell(0, 0, 0)])
+    second = maintainer.apply([ClearCell(0, 0, 0)])
+    assert second.algorithm.count("stream[") == 1
+
+
+def test_maintain_without_thresholds_anywhere_raises():
+    ds = planted()
+    base = mine(ds, Thresholds(2, 2, 2), algorithm="rsm")
+    stripped = type(base)(
+        cubes=list(base.cubes), algorithm=base.algorithm, thresholds=None
+    )
+    with pytest.raises(ValueError):
+        maintain(ds, stripped, [SetCell(0, 0, 0)])

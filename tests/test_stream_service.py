@@ -1,0 +1,279 @@
+"""Service integration of ``repro.stream``: the updates endpoint,
+maintenance jobs, cache patch-forward, and the mmap dataset mode."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import mine
+from repro.core.constraints import Thresholds
+from repro.core.dataset import Dataset3D
+from repro.core.result import MiningResult
+from repro.io import dataset_to_payload
+from repro.service import Request, ServiceApp
+from repro.service.schemas import JobSpec
+from repro.stream import DeltaLog
+
+
+def small_dataset(seed: int = 21) -> Dataset3D:
+    rng = np.random.default_rng(seed)
+    return Dataset3D(rng.random((3, 6, 6)) < 0.55)
+
+
+def cube_keys(result):
+    return [(c.heights, c.rows, c.columns) for c in result.cubes]
+
+
+def post(app: ServiceApp, path: str, payload: dict):
+    return app.handle(
+        Request(method="POST", path=path, body=json.dumps(payload).encode())
+    )
+
+
+def get(app: ServiceApp, path: str):
+    return app.handle(Request(method="GET", path=path))
+
+
+def wait_done(app: ServiceApp, job_id: str, timeout: float = 120.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = get(app, f"/v1/jobs/{job_id}").payload
+        if record["status"] in ("done", "failed", "cancelled"):
+            return record
+        time.sleep(0.1)
+    raise TimeoutError(job_id)
+
+
+@pytest.fixture
+def app(tmp_path):
+    application = ServiceApp(tmp_path / "data", max_workers=1)
+    yield application
+    application.close()
+
+
+DELTAS = [
+    {"op": "set-cell", "height": 0, "row": 0, "column": 0},
+    {"op": "clear-cell", "height": 2, "row": 5, "column": 5},
+]
+
+
+class TestUpdatesEndpoint:
+    def _register_and_mine(self, app, ds, th):
+        fp = post(app, "/v1/datasets", dataset_to_payload(ds)).payload[
+            "fingerprint"
+        ]
+        record = post(
+            app,
+            "/v1/jobs",
+            {"dataset": fp, "thresholds": th.to_dict(), "algorithm": "rsm"},
+        ).payload
+        assert wait_done(app, record["id"])["status"] == "done"
+        return fp
+
+    def test_update_patches_cache_forward(self, app, tmp_path):
+        ds = small_dataset()
+        th = Thresholds(2, 2, 2)
+        fp = self._register_and_mine(app, ds, th)
+
+        response = post(app, f"/v1/datasets/{fp}/updates", {"deltas": DELTAS})
+        assert response.status == 202
+        doc = response.payload
+        assert doc["base"] == fp
+        assert doc["deltas_applied"] == 2
+        assert len(doc["jobs"]) == 1
+        maintenance = doc["jobs"][0]
+        assert maintenance["spec"]["maintain"]["base"] == fp
+        assert wait_done(app, maintenance["id"])["status"] == "done"
+
+        # The maintained result is cached under the successor fingerprint
+        # and equals a fresh mine of the edited tensor, bit for bit.
+        query = post(
+            app,
+            "/v1/query",
+            {
+                "dataset": doc["fingerprint"],
+                "algorithm": "rsm",
+                "thresholds": th.to_dict(),
+            },
+        )
+        assert query.status == 200
+        served = MiningResult.from_payload(query.payload["result"])
+        edited = np.array(ds.data, dtype=bool)
+        edited[0, 0, 0] = True
+        edited[2, 5, 5] = False
+        fresh = mine(Dataset3D(edited), th, algorithm="rsm")
+        assert cube_keys(served) == cube_keys(fresh)
+
+        # The worker went through the maintainer, not a fresh mine.
+        events = get(app, f"/v1/jobs/{maintenance['id']}/events").payload[
+            "events"
+        ]
+        assert any(e.get("kind") == "maintain-done" for e in events)
+
+    def test_update_journals_the_delta_log(self, app):
+        ds = small_dataset()
+        fp = post(app, "/v1/datasets", dataset_to_payload(ds)).payload[
+            "fingerprint"
+        ]
+        # Updating the successor extends the same chained journal.
+        doc = post(app, f"/v1/datasets/{fp}/updates", {"deltas": DELTAS}).payload
+        successor = doc["fingerprint"]
+        post(app, f"/v1/datasets/{successor}/updates", {"deltas": DELTAS[:1]})
+        log = DeltaLog.open(app.data_dir / "deltas" / f"{fp}.jsonl")
+        assert len(log) == 2
+        assert log.fingerprint == fp
+        assert log.replay(ds) is not None
+
+    def test_divergent_updates_get_separate_journals(self, app):
+        # Two batches posted against the SAME base are branches, not a
+        # chain — each lands in its own replayable journal.
+        ds = small_dataset()
+        fp = post(app, "/v1/datasets", dataset_to_payload(ds)).payload[
+            "fingerprint"
+        ]
+        post(app, f"/v1/datasets/{fp}/updates", {"deltas": DELTAS})
+        post(app, f"/v1/datasets/{fp}/updates", {"deltas": DELTAS[:1]})
+        logs = sorted((app.data_dir / "deltas").glob("*.jsonl"))
+        assert len(logs) == 2
+        for path in logs:
+            log = DeltaLog.open(path)
+            assert len(log) == 1
+            assert log.fingerprint == fp
+            assert log.replay(ds) is not None
+
+    def test_update_without_cached_results_queues_no_jobs(self, app):
+        ds = small_dataset()
+        fp = post(app, "/v1/datasets", dataset_to_payload(ds)).payload[
+            "fingerprint"
+        ]
+        response = post(app, f"/v1/datasets/{fp}/updates", {"deltas": DELTAS})
+        assert response.status == 202
+        assert response.payload["jobs"] == []
+        # The successor dataset is still registered.
+        assert (
+            get(app, f"/v1/datasets/{response.payload['fingerprint']}").status
+            == 200
+        )
+
+    def test_update_unknown_dataset_404(self, app):
+        response = post(
+            app, "/v1/datasets/" + "0" * 64 + "/updates", {"deltas": DELTAS}
+        )
+        assert response.status == 404
+        assert response.payload["error"]["code"] == "unknown-dataset"
+
+    def test_update_bad_deltas_400(self, app):
+        ds = small_dataset()
+        fp = post(app, "/v1/datasets", dataset_to_payload(ds)).payload[
+            "fingerprint"
+        ]
+        for bad in (
+            {"deltas": []},
+            {"deltas": [{"op": "warp"}]},
+            {"deltas": [{"op": "set-cell", "height": 99, "row": 0, "column": 0}]},
+            {},
+        ):
+            response = post(app, f"/v1/datasets/{fp}/updates", bad)
+            assert response.status == 400, bad
+            assert response.payload["error"]["code"] == "bad-deltas"
+
+    def test_maintenance_falls_back_when_base_vanishes(self, app):
+        # A maintain spec whose base was never cached: the worker falls
+        # back to a fresh mine and the job still completes correctly.
+        ds = small_dataset()
+        th = Thresholds(2, 2, 2)
+        fp = post(app, "/v1/datasets", dataset_to_payload(ds)).payload[
+            "fingerprint"
+        ]
+        edited = np.array(ds.data, dtype=bool)
+        edited[0, 0, 0] = True
+        new_fp = post(
+            app, "/v1/datasets", dataset_to_payload(Dataset3D(edited))
+        ).payload["fingerprint"]
+        spec = JobSpec(
+            dataset=new_fp,
+            thresholds=th,
+            algorithm="rsm",
+            use_cache=False,
+            maintain={
+                "base": fp,
+                "deltas": [
+                    {"op": "set-cell", "height": 0, "row": 0, "column": 0}
+                ],
+            },
+        )
+        record = post(app, "/v1/jobs", spec.to_dict()).payload
+        assert wait_done(app, record["id"])["status"] == "done"
+        events = get(app, f"/v1/jobs/{record['id']}/events").payload["events"]
+        assert any(e.get("kind") == "maintain-fallback" for e in events)
+        result = MiningResult.from_payload(
+            get(app, f"/v1/jobs/{record['id']}/result").payload["result"]
+        )
+        assert cube_keys(result) == cube_keys(
+            mine(Dataset3D(edited), th, algorithm="rsm")
+        )
+
+
+class TestJobSpecMaintain:
+    def test_wire_round_trip(self):
+        spec = JobSpec(
+            dataset="a" * 64,
+            thresholds=Thresholds(2, 2, 2),
+            maintain={"base": "b" * 64, "deltas": DELTAS},
+        )
+        restored = JobSpec.from_dict(spec.to_dict())
+        assert restored.maintain == spec.maintain
+
+    def test_maintain_omitted_when_unset(self):
+        spec = JobSpec(dataset="a" * 64, thresholds=Thresholds(2, 2, 2))
+        assert "maintain" not in spec.to_dict()
+        assert JobSpec.from_dict(spec.to_dict()).maintain is None
+
+    def test_validate_rejects_malformed_maintain(self):
+        for maintain in (
+            {"deltas": DELTAS},  # no base
+            {"base": "b" * 64, "deltas": [{"op": "warp"}]},
+        ):
+            spec = JobSpec(
+                dataset="a" * 64,
+                thresholds=Thresholds(2, 2, 2),
+                maintain=maintain,
+            )
+            with pytest.raises(ValueError):
+                spec.validate()
+
+
+class TestMmapMode:
+    def test_mmap_job_mines_identically(self, tmp_path):
+        app = ServiceApp(tmp_path / "data", max_workers=1, mmap_datasets=True)
+        try:
+            ds = small_dataset(seed=31)
+            th = Thresholds(2, 2, 2)
+            fp = post(app, "/v1/datasets", dataset_to_payload(ds)).payload[
+                "fingerprint"
+            ]
+            record = post(
+                app,
+                "/v1/jobs",
+                {
+                    "dataset": fp,
+                    "thresholds": th.to_dict(),
+                    "algorithm": "rsm",
+                    "use_cache": False,
+                },
+            ).payload
+            assert wait_done(app, record["id"])["status"] == "done"
+            # The packed grid was materialized into the mmap store.
+            assert (app.data_dir / "mmap" / f"{fp}.npy").exists()
+            result = MiningResult.from_payload(
+                get(app, f"/v1/jobs/{record['id']}/result").payload["result"]
+            )
+            assert cube_keys(result) == cube_keys(
+                mine(ds, th, algorithm="rsm")
+            )
+        finally:
+            app.close()
