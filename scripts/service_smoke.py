@@ -9,7 +9,9 @@ path the way CI's ``service`` job expects:
    comes from the threshold-lattice cache (``cache_hit``) and is
    bit-identical to a fresh sequential mine,
 4. hit the cache-only ``/v1/query`` endpoint,
-5. check the health counters moved.
+5. check the health counters moved,
+6. fsck the data directory after shutdown — a clean end-to-end run
+   must leave a clean store (no stray temps, no checksum drift).
 
 Exits non-zero on the first broken expectation.
 """
@@ -23,6 +25,7 @@ import threading
 import numpy as np
 
 from repro import mine
+from repro.chaos import fsck_data_dir
 from repro.core.constraints import Thresholds
 from repro.core.dataset import Dataset3D
 from repro.service import ServiceApp, ServiceClient, serve
@@ -95,6 +98,9 @@ def main() -> int:
         server.shutdown()
         server.server_close()
         app.close()
+
+    report = fsck_data_dir(data_dir)
+    check(report.clean, f"data dir fscks clean after shutdown ({report.summary()})")
 
     print("service smoke test passed")
     return 0

@@ -18,6 +18,8 @@ Subcommands::
     repro-fcc jobs      — list/inspect/cancel jobs on a daemon
     repro-fcc update    — apply a delta batch: patch a local result
                           incrementally, or POST to a daemon
+    repro-fcc fsck      — check (and optionally repair) a service
+                          data directory
 
 Every command prints human-readable text to stdout; ``mine`` exits 0
 even when no cube is found (an empty result is a valid answer).  The
@@ -30,7 +32,11 @@ fault-tolerance knobs: ``--retries`` / ``--task-timeout`` /
 ``--resume`` enable chunk-level checkpoint/resume, ``--shards N`` /
 ``--shard-dim`` partition the enumerated dimension, and ``--shm`` /
 ``--no-shm`` force or disable the shared-memory dataset hand-off.  A malformed
-dataset file exits 65 (``EX_DATAERR``) with the offending line.
+dataset file exits 65 (``EX_DATAERR``) with the offending line — and the
+same code covers every *corrupt store* the service commands can hit:
+``serve`` refuses to start over a structurally broken data directory,
+``fsck`` reports an unreadable one, and ``update`` rejects an unreadable
+base result, all exiting 65 with a typed message.
 """
 
 from __future__ import annotations
@@ -179,8 +185,53 @@ def build_parser() -> argparse.ArgumentParser:
                            help="load datasets fully into worker memory "
                                 "(the default)")
     serve_cmd.set_defaults(mmap=False)
+    serve_cmd.add_argument("--max-queued", type=int, default=None,
+                           help="admission control: reject submissions "
+                                "with HTTP 429 once this many jobs are "
+                                "queued (default: unbounded)")
+    serve_cmd.add_argument("--max-retries", type=int, default=2,
+                           help="retry budget per job before it is "
+                                "quarantined")
+    serve_cmd.add_argument("--heartbeat-timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="watchdog: kill and requeue a worker "
+                                "whose event journal goes silent this "
+                                "long (default: off)")
+    serve_cmd.add_argument("--drain-timeout", type=float, default=30.0,
+                           metavar="SECONDS",
+                           help="on SIGTERM, wait this long for running "
+                                "jobs to finish before closing")
+    serve_cmd.add_argument("--no-fsck", dest="fsck", action="store_false",
+                           help="skip the structural store check at "
+                                "startup")
+    serve_cmd.set_defaults(fsck=True)
     serve_cmd.add_argument("--verbose", action="store_true",
                            help="log every request to stderr")
+
+    fsck_cmd = sub.add_parser(
+        "fsck",
+        help="check (and optionally repair) a service data directory",
+        description="Walk every on-disk store of a service data "
+                    "directory — dataset registry, result cache, job "
+                    "directories, delta logs, mmap grids — verifying "
+                    "structure and content checksums.  Exits 0 when "
+                    "clean, 1 when unrepaired issues remain, 65 when "
+                    "the directory itself is unreadable.  --repair "
+                    "moves damaged files to quarantined/fsck/ and "
+                    "sweeps stale temporaries.",
+    )
+    fsck_cmd.add_argument("--data-dir", required=True,
+                          help="service data directory to check")
+    fsck_cmd.add_argument("--repair", action="store_true",
+                          help="quarantine damaged files and sweep "
+                               "stale temporaries")
+    fsck_cmd.add_argument("--no-verify", dest="verify_checksums",
+                          action="store_false",
+                          help="structural checks only (skip content "
+                               "checksums; much faster on big stores)")
+    fsck_cmd.set_defaults(verify_checksums=True)
+    fsck_cmd.add_argument("--json", action="store_true",
+                          help="print the full report as JSON")
 
     submit = sub.add_parser(
         "submit", help="submit a mining job to a running daemon"
@@ -594,14 +645,58 @@ def _explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fsck(args: argparse.Namespace) -> int:
+    from .chaos import fsck_data_dir
+
+    try:
+        report = fsck_data_dir(
+            args.data_dir,
+            repair=args.repair,
+            verify_checksums=args.verify_checksums,
+        )
+    except OSError as error:
+        print(f"error: cannot fsck {args.data_dir}: {error}", file=sys.stderr)
+        raise SystemExit(EXIT_DATA) from None
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.clean else 1
+
+
 def _serve(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import threading
+
     from .service import ServiceApp
     from .service import serve as bind_server
 
+    if args.fsck and os.path.isdir(args.data_dir):
+        # Structural check only: content checksums are verified lazily
+        # on every read, but a daemon must not come up over a store
+        # whose shape is already known-broken.
+        from .chaos import fsck_data_dir
+
+        report = fsck_data_dir(args.data_dir, verify_checksums=False)
+        if report.errors:
+            for issue in report.errors:
+                print(f"error: {issue.format()}", file=sys.stderr)
+            print(
+                f"error: {args.data_dir}: corrupt store "
+                f"({len(report.errors)} error(s)); run "
+                f"'repro-fcc fsck --data-dir {args.data_dir} --repair' "
+                "to quarantine the damage",
+                file=sys.stderr,
+            )
+            raise SystemExit(EXIT_DATA)
     app = ServiceApp(
         args.data_dir,
         max_workers=args.max_workers,
         mmap_datasets=args.mmap,
+        max_queued=args.max_queued,
+        max_retries=args.max_retries,
+        heartbeat_timeout=args.heartbeat_timeout,
     )
     server = bind_server(app, args.host, args.port, verbose=args.verbose)
     host, port = server.server_address[:2]
@@ -612,12 +707,22 @@ def _serve(args: argparse.Namespace) -> int:
         f"datasets: {mode})",
         flush=True,
     )
+
+    def _terminate(signum, frame):
+        # serve_forever() must be shut down from another thread; drain
+        # happens below, after the accept loop stops taking requests.
+        print("SIGTERM: draining...", file=sys.stderr, flush=True)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        signal.signal(signal.SIGTERM, previous)
         server.server_close()
+        app.drain(timeout=args.drain_timeout)
         app.close()
     return 0
 
@@ -817,6 +922,7 @@ _HANDLERS = {
     "submit": _submit,
     "jobs": _jobs,
     "update": _update,
+    "fsck": _fsck,
 }
 
 

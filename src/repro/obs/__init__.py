@@ -25,7 +25,7 @@ from .events import (
     event_to_dict,
     null_sink,
 )
-from .metrics import PRUNE_FIELDS, MiningMetrics
+from .metrics import PRUNE_FIELDS, ChaosCounters, MiningMetrics
 from .progress import (
     MiningCancelled,
     ProgressController,
@@ -35,6 +35,7 @@ from .progress import (
 
 __all__ = [
     "MiningMetrics",
+    "ChaosCounters",
     "PRUNE_FIELDS",
     "MineStart",
     "MineDone",

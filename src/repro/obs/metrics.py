@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
-__all__ = ["MiningMetrics", "PRUNE_FIELDS"]
+__all__ = ["MiningMetrics", "ChaosCounters", "PRUNE_FIELDS"]
 
 #: Counter fields that count prune-rule hits in CubeMiner's tree, in the
 #: order (thresholds, Lemma 2, Lemma 3, Lemma 4, Lemma 5).
@@ -137,3 +137,46 @@ class MiningMetrics:
     def copy(self) -> "MiningMetrics":
         """An independent snapshot of the current counter values."""
         return MiningMetrics(**self.as_dict())
+
+
+@dataclass
+class ChaosCounters:
+    """Service-hardening counters: what the runtime survived.
+
+    One shared instance is threaded through the registry, cache, mmap
+    store and job manager of a :class:`~repro.service.app.ServiceApp`,
+    surfaces in ``GET /health`` under ``"chaos"``, and is stamped into
+    every served result's ``stats.extra["chaos"]`` — so load shedding,
+    retries, quarantines and corruption recoveries are first-class
+    observability, not log lines.
+    """
+
+    #: Submissions rejected by admission control (HTTP 429).
+    jobs_rejected: int = 0
+    #: Failed attempts requeued with backoff (retry budget spent).
+    jobs_retried: int = 0
+    #: Poison jobs moved to ``quarantined/`` after exhausting retries.
+    jobs_quarantined: int = 0
+    #: Stuck workers killed by the heartbeat watchdog.
+    watchdog_kills: int = 0
+    #: Verify-on-read failures (checksum/fingerprint mismatches).
+    corruption_detected: int = 0
+    #: Corrupt store entries evicted (degraded to cache misses).
+    corruption_evicted: int = 0
+    #: Orphaned temp files swept on store open.
+    stale_temps_swept: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+    to_dict = as_dict
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChaosCounters":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: int(v) for k, v in payload.items() if k in known})
+
+    def merge(self, other: "ChaosCounters") -> "ChaosCounters":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from pathlib import Path
 from typing import IO
 
@@ -133,9 +132,14 @@ class CheckpointJournal:
         path: str | Path,
         handle: IO[str],
         completed: dict[int, tuple[list[tuple[int, int, int]], dict]],
+        *,
+        io=None,
     ) -> None:
+        from ..chaos.io import IOShim
+
         self.path = Path(path)
         self._handle = handle
+        self.io = io if io is not None else IOShim()
         #: Chunk results replayed from a previous run of this journal.
         self.completed = completed
 
@@ -151,6 +155,7 @@ class CheckpointJournal:
         fingerprint: str,
         n_chunks: int,
         resume: bool = False,
+        io=None,
     ) -> "CheckpointJournal":
         """Open a journal for writing, optionally resuming an earlier one.
 
@@ -158,7 +163,9 @@ class CheckpointJournal:
         ``fingerprint`` (mismatch raises
         :class:`CheckpointMismatchError`), its completed chunks are
         loaded, and new chunk records append after them.  Otherwise any
-        existing file is truncated and a fresh header written.
+        existing file is truncated and a fresh header written.  ``io``
+        is the :class:`~repro.chaos.io.IOShim` chunk appends route
+        through (the hardened default when unset).
         """
         path = Path(path)
         completed: dict[int, tuple[list[tuple[int, int, int]], dict]] = {}
@@ -180,7 +187,7 @@ class CheckpointJournal:
                     if 0 <= cid < n_chunks
                 }
                 handle = open(path, "a")
-                return cls(path, handle, completed)
+                return cls(path, handle, completed, io=io)
             # Unreadable/empty journal: fall through to a fresh start.
             completed = {}
         handle = open(path, "w")
@@ -193,7 +200,7 @@ class CheckpointJournal:
         }
         handle.write(json.dumps(header) + "\n")
         handle.flush()
-        return cls(path, handle, completed)
+        return cls(path, handle, completed, io=io)
 
     def record(
         self,
@@ -210,9 +217,7 @@ class CheckpointJournal:
                 "metrics": {k: int(v) for k, v in tallies.items()},
             }
         )
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        self.io.append_line("checkpoint", self._handle, line)
 
     def close(self) -> None:
         if not self._handle.closed:

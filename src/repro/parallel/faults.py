@@ -25,6 +25,12 @@ degradation).
 
 :meth:`FaultPlan.random` draws a seeded plan for randomized suites and
 the recovery-overhead benchmark.
+
+This module injects *worker-task* faults inside the parallel drivers;
+its storage/service-layer sibling is :mod:`repro.chaos`, whose
+:class:`~repro.chaos.plan.ChaosPlan` + :class:`~repro.chaos.io.ChaosShim`
+inject IO faults (ENOSPC, torn writes, bit flips, ...) under every
+on-disk store and the mining daemon.
 """
 
 from __future__ import annotations

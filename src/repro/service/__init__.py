@@ -32,12 +32,19 @@ Quickstart::
     served = client.result(job.id)           # ServiceResult
     served.result                            # a plain MiningResult
 
+The runtime is hardened against its own storage and workers:
+admission control (HTTP 429 + ``Retry-After``), per-job deadlines,
+retry budgets with poison-job quarantine, worker heartbeats with a
+stuck-job watchdog, verify-on-read checksums on every store, and
+graceful drain — see ``docs/robustness.md`` for the full fault model
+and :mod:`repro.chaos` for the fault-injection harness that tests it.
+
 See ``docs/service.md`` for endpoints, JSON schemas, cache semantics
 and the resume story.
 """
 
 from .app import Request, Response, ServiceApp, serve
-from .cache import CacheAnswer, ThresholdLatticeCache
+from .cache import CacheAnswer, ThresholdLatticeCache, load_entry_payload
 from .client import ServiceClient, ServiceClientError, ServiceResult
 from .jobs import JobManager
 from .registry import DatasetEntry, DatasetRegistry
@@ -62,6 +69,7 @@ __all__ = [
     "DatasetEntry",
     "ThresholdLatticeCache",
     "CacheAnswer",
+    "load_entry_payload",
     "JobSpec",
     "JobRecord",
     "JOB_STATUSES",

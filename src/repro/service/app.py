@@ -26,9 +26,25 @@ Endpoints (all JSON; see ``docs/service.md`` for full schemas)::
                                      deltas, queues maintenance jobs
                                      that patch the cache forward)
 
+Two bare probes ride alongside (no ``/v1`` prefix, trivial bodies)::
+
+    GET  /healthz                    liveness: 200 while the process serves
+    GET  /readyz                     readiness: 503 while draining or at
+                                     admission-control capacity
+
 Errors are ``{"error": {"code", "message"}}`` with a meaningful HTTP
 status; a :class:`~repro.service.schemas.ServiceError` raised anywhere
-in a handler renders that way automatically.
+in a handler renders that way automatically (backpressure rejections
+also carry a ``Retry-After`` header).  Storage failing under a handler
+degrades, typed, instead of crashing the daemon: a
+:class:`~repro.chaos.io.StoreCorruptionError` renders as HTTP 500
+``store-corrupt``, any other ``OSError`` as HTTP 503
+``storage-unavailable``.
+
+All disk and transport traffic routes through one injectable
+:class:`~repro.chaos.io.IOShim` shared by the registry, cache, mmap
+store and job manager; the chaos battery swaps in a
+:class:`~repro.chaos.io.ChaosShim` to prove those degradations hold.
 """
 
 from __future__ import annotations
@@ -43,8 +59,10 @@ from typing import Callable
 from urllib.parse import parse_qsl, urlsplit
 
 from .. import __version__
+from ..chaos.io import IOShim, StoreCorruptionError
 from ..core.constraints import Thresholds
 from ..io import DatasetFormatError, dataset_from_payload
+from ..obs.metrics import ChaosCounters
 from .cache import ThresholdLatticeCache
 from .jobs import JobManager
 from .registry import DatasetRegistry
@@ -77,10 +95,11 @@ class Request:
 
 @dataclass(frozen=True)
 class Response:
-    """One JSON response: status code plus payload document."""
+    """One JSON response: status code, payload document, extra headers."""
 
     status: int
     payload: dict
+    headers: dict[str, str] = field(default_factory=dict)
 
     def body(self) -> bytes:
         return (json.dumps(self.payload) + "\n").encode()
@@ -102,15 +121,28 @@ class ServiceApp:
         max_workers: int = 2,
         start_method: str = "spawn",
         mmap_datasets: bool = False,
+        max_queued: "int | None" = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        heartbeat_timeout: "float | None" = None,
+        io: "IOShim | None" = None,
     ) -> None:
         self.data_dir = Path(data_dir)
-        self.registry = DatasetRegistry(self.data_dir / "datasets")
-        self.cache = ThresholdLatticeCache(self.data_dir / "cache")
+        self.io = io if io is not None else IOShim()
+        self.chaos = ChaosCounters()
+        self.registry = DatasetRegistry(
+            self.data_dir / "datasets", io=self.io, chaos=self.chaos
+        )
+        self.cache = ThresholdLatticeCache(
+            self.data_dir / "cache", io=self.io, chaos=self.chaos
+        )
         self.mmap_store = None
         if mmap_datasets:
             from ..stream.store import MmapDatasetStore
 
-            self.mmap_store = MmapDatasetStore(self.data_dir / "mmap")
+            self.mmap_store = MmapDatasetStore(
+                self.data_dir / "mmap", io=self.io, chaos=self.chaos
+            )
         self.jobs = JobManager(
             self.data_dir / "jobs",
             self.registry,
@@ -118,10 +150,18 @@ class ServiceApp:
             max_workers=max_workers,
             start_method=start_method,
             mmap_store=self.mmap_store,
+            max_queued=max_queued,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            heartbeat_timeout=heartbeat_timeout,
+            io=self.io,
+            chaos=self.chaos,
         )
         self.started = time.time()
         self._routes: list[tuple[str, re.Pattern, Callable]] = [
             ("GET", re.compile(r"^/health$"), self._health),
+            ("GET", re.compile(r"^/healthz$"), self._healthz),
+            ("GET", re.compile(r"^/readyz$"), self._readyz),
             ("GET", re.compile(r"^/v1/datasets$"), self._list_datasets),
             ("POST", re.compile(r"^/v1/datasets$"), self._register_dataset),
             (
@@ -159,8 +199,15 @@ class ServiceApp:
     # Entry point
     # ------------------------------------------------------------------
     def handle(self, request: Request) -> Response:
-        """Route one request; every failure becomes a JSON error."""
+        """Route one request; every failure becomes a JSON error.
+
+        The one exception: a :class:`ConnectionResetError` (injected at
+        the ``http`` chaos site or raised by the socket) propagates so
+        the transport adapter drops the connection — the client sees
+        the reset it would see in production and retries.
+        """
         try:
+            self.io.check("http", "handle", request.path)
             for method, pattern, handler in self._routes:
                 match = pattern.match(request.path)
                 if match is None:
@@ -172,15 +219,34 @@ class ServiceApp:
                 404, "not-found", f"no route for {request.method} {request.path}"
             )
         except ServiceError as error:
-            return Response(error.status, error.to_payload())
+            headers = {}
+            if error.retry_after is not None:
+                headers["Retry-After"] = str(error.retry_after)
+            return Response(error.status, error.to_payload(), headers)
         except DatasetFormatError as error:
             return Response(
                 400, {"error": {"code": "bad-dataset", "message": str(error)}}
+            )
+        except ConnectionResetError:
+            raise
+        except StoreCorruptionError as error:
+            self.chaos.corruption_detected += 1
+            return Response(
+                500, {"error": {"code": "store-corrupt", "message": str(error)}}
+            )
+        except OSError as error:
+            return Response(
+                503,
+                {"error": {"code": "storage-unavailable", "message": str(error)}},
             )
         except (ValueError, KeyError, TypeError) as error:
             return Response(
                 400, {"error": {"code": "bad-request", "message": str(error)}}
             )
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting jobs and wait for in-flight work to finish."""
+        return self.jobs.drain(timeout)
 
     def close(self) -> None:
         """Stop the job manager (workers killed, resumable state kept)."""
@@ -200,8 +266,25 @@ class ServiceApp:
                 "datasets": len(self.registry),
                 "jobs": self.jobs.counts(),
                 "cache": self.cache.stats(),
+                "chaos": self.chaos.as_dict(),
+                "draining": self.jobs.draining,
             },
         )
+
+    def _healthz(self, request: Request) -> Response:
+        """Liveness: the process is up and routing requests."""
+        return Response(200, {"status": "ok"})
+
+    def _readyz(self, request: Request) -> Response:
+        """Readiness: would a job submitted right now be admitted?"""
+        if self.jobs.draining:
+            return Response(503, {"status": "draining"})
+        if (
+            self.jobs.max_queued is not None
+            and self.jobs.queue_depth() >= self.jobs.max_queued
+        ):
+            return Response(503, {"status": "over-capacity"})
+        return Response(200, {"status": "ready"})
 
     def _list_datasets(self, request: Request) -> Response:
         return Response(
@@ -301,7 +384,7 @@ class ServiceApp:
         root.mkdir(parents=True, exist_ok=True)
         for path in sorted(root.glob("*.jsonl")):
             try:
-                log = DeltaLog.open(path)
+                log = DeltaLog.open(path, io=self.io)
             except (ValueError, OSError):
                 continue
             if log.tip_fingerprint() == fp:
@@ -310,7 +393,9 @@ class ServiceApp:
         while (root / f"{stem}.jsonl").exists():
             counter += 1
             stem = f"{fp}.{counter}"
-        return DeltaLog.open(root / f"{stem}.jsonl", fingerprint=fp, shape=shape)
+        return DeltaLog.open(
+            root / f"{stem}.jsonl", fingerprint=fp, shape=shape, io=self.io
+        )
 
     def _submit_job(self, request: Request) -> Response:
         spec = JobSpec.from_dict(request.json())
@@ -421,11 +506,20 @@ class _Handler(BaseHTTPRequestHandler):
             query=dict(parse_qsl(parts.query)),
             body=body,
         )
-        response = self.server.app.handle(request)
+        try:
+            response = self.server.app.handle(request)
+        except ConnectionResetError:
+            # Injected (or real) transport fault: drop the connection
+            # without a response, exactly what the client's retry path
+            # is built to absorb.
+            self.close_connection = True
+            return
         data = response.body()
         self.send_response(response.status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 

@@ -12,11 +12,16 @@ a query is answered whenever any stored entry *dominates* it
 :meth:`Cube.satisfies` and served with ``cache_hit`` / ``filtered_from``
 provenance in ``MiningStats.extra["cache"]``.
 
-Entries persist as :meth:`MiningResult.to_payload` JSON files under
-``<root>/<fp>/<algorithm>/<h>-<r>-<c>-<v>.json`` (atomic writes), so a
-restarted daemon reopens its whole cache by scanning the tree.  Hit /
-miss / filter counters are kept for ``/health`` and the service
-benchmark.
+Entries persist under ``<root>/<fp>/<algorithm>/<h>-<r>-<c>-<v>.json``
+as checksummed envelopes — ``{"schema": 1, "sha256": <digest of the
+serialized payload>, "payload": <MiningResult.to_payload()>}`` — written
+atomically through the :class:`~repro.chaos.io.IOShim`, so a restarted
+daemon reopens its whole cache by scanning the tree.  Every read
+verifies the digest; an entry that fails (bit rot, torn write) degrades
+to a **miss** and is evicted, never served — the caller simply mines
+fresh and re-stores.  Plain pre-envelope payload files from older
+daemons still parse (unverified).  Hit / miss / filter counters are
+kept for ``/health`` and the service benchmark.
 """
 
 from __future__ import annotations
@@ -27,10 +32,31 @@ import threading
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..chaos.io import IOShim, StoreCorruptionError, sha256_bytes
 from ..core.constraints import Thresholds
 from ..core.result import MiningResult, MiningStats
+from ..obs.metrics import ChaosCounters
 
-__all__ = ["CacheAnswer", "ThresholdLatticeCache"]
+__all__ = ["CacheAnswer", "ThresholdLatticeCache", "load_entry_payload"]
+
+
+def load_entry_payload(path: "str | Path") -> dict:
+    """Parse one stored cache file into a ``MiningResult`` payload dict.
+
+    Understands both the checksummed envelope and the legacy plain
+    payload; a digest mismatch raises
+    :class:`~repro.chaos.io.StoreCorruptionError`.  Shared with the job
+    worker, which reads base results for incremental maintenance
+    straight off disk.
+    """
+    path = Path(path)
+    doc = json.loads(path.read_text())
+    if isinstance(doc, dict) and "sha256" in doc and "payload" in doc:
+        body = json.dumps(doc["payload"])
+        if sha256_bytes(body.encode()) != doc["sha256"]:
+            raise StoreCorruptionError("cache", path, "checksum mismatch")
+        return doc["payload"]
+    return doc
 
 
 @dataclass
@@ -57,9 +83,17 @@ def _key_name(thresholds: Thresholds) -> str:
 class ThresholdLatticeCache:
     """Persistent result cache ordered by threshold dominance."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        io: "IOShim | None" = None,
+        chaos: "ChaosCounters | None" = None,
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.io = io if io is not None else IOShim()
+        self.chaos = chaos if chaos is not None else ChaosCounters()
         self._lock = threading.Lock()
         #: (fingerprint, algorithm) -> {thresholds: result-file path}
         self._index: dict[tuple[str, str], dict[Thresholds, Path]] = {}
@@ -99,9 +133,18 @@ class ThresholdLatticeCache:
         entry_dir = self.root / fingerprint / algorithm
         entry_dir.mkdir(parents=True, exist_ok=True)
         path = entry_dir / f"{_key_name(result.thresholds)}.json"
-        tmp = entry_dir / f".{path.name}.tmp"
-        tmp.write_text(json.dumps(result.to_payload()))
-        os.replace(tmp, path)
+        # The digest covers the payload's exact serialization; splicing
+        # the envelope around the already-serialized body guarantees the
+        # hashed bytes are the stored bytes.
+        body = json.dumps(result.to_payload())
+        doc = (
+            '{"schema": 1, "sha256": "'
+            + sha256_bytes(body.encode())
+            + '", "payload": '
+            + body
+            + "}"
+        )
+        self.io.atomic_write_text("cache", path, doc)
         with self._lock:
             self._index.setdefault((fingerprint, algorithm), {})[
                 result.thresholds
@@ -141,15 +184,31 @@ class ThresholdLatticeCache:
             return None
         stored_thresholds, path = best
         try:
-            source = MiningResult.from_payload(json.loads(path.read_text()))
-        except (OSError, ValueError):
+            doc = json.loads(self.io.read_text("cache", path))
+            payload = doc
+            if isinstance(doc, dict) and "sha256" in doc and "payload" in doc:
+                body = json.dumps(doc["payload"])
+                if sha256_bytes(body.encode()) != doc["sha256"]:
+                    raise StoreCorruptionError("cache", path, "checksum mismatch")
+                payload = doc["payload"]
+            source = MiningResult.from_payload(payload)
+        except (OSError, ValueError, StoreCorruptionError) as error:
             # A vanished or corrupt entry degrades to a miss, never an
             # error: the caller simply mines fresh (and re-stores).
+            # Corruption additionally evicts the poisoned file so a
+            # restart cannot resurrect it.
             with self._lock:
                 self._index.get((fingerprint, algorithm), {}).pop(
                     stored_thresholds, None
                 )
                 self.misses += 1
+            if not isinstance(error, OSError):
+                self.chaos.corruption_detected += 1
+                self.chaos.corruption_evicted += 1
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
             return None
         exact = stored_thresholds == thresholds
         kept = (

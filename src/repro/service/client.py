@@ -10,6 +10,13 @@ and hands back *library* objects: datasets register from
 errors re-raise as :class:`ServiceClientError` with the HTTP status and
 the machine-readable error code.
 
+Transport faults on *idempotent* requests (every GET) are retried with
+bounded exponential backoff plus jitter: a connection reset, a dropped
+socket or an unreachable daemon gets ``retries`` more chances before
+surfacing as a :class:`ServiceClientError`.  Non-idempotent requests
+(``POST /v1/jobs`` and friends) are never retried — a resubmitted job
+is a duplicate job, so that call stays single-shot.
+
 The one-call convenience::
 
     client = ServiceClient("http://127.0.0.1:8765")
@@ -20,7 +27,9 @@ The one-call convenience::
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -38,13 +47,25 @@ __all__ = ["ServiceClient", "ServiceClientError", "ServiceResult"]
 
 
 class ServiceClientError(RuntimeError):
-    """An error response from the daemon (or a transport failure)."""
+    """An error response from the daemon (or a transport failure).
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    ``retry_after`` carries the daemon's backpressure hint (seconds)
+    when the error is an admission-control rejection (HTTP 429).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retry_after: "float | None" = None,
+    ) -> None:
         super().__init__(f"[{status}/{code}] {message}")
         self.status = status
         self.code = code
         self.message = message
+        self.retry_after = retry_after
 
 
 @dataclass(frozen=True)
@@ -60,9 +81,20 @@ class ServiceResult:
 class ServiceClient:
     """Typed HTTP client bound to one daemon."""
 
-    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 60.0,
+        retries: int = 3,
+        retry_backoff: float = 0.1,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
 
     # ------------------------------------------------------------------
     # Transport
@@ -75,7 +107,17 @@ class ServiceClient:
         payload: dict | None = None,
         query: dict | None = None,
         timeout: float | None = None,
+        idempotent: "bool | None" = None,
     ) -> dict:
+        """One round-trip; idempotent calls retry transient faults.
+
+        ``idempotent`` defaults to ``method == "GET"``.  Only transport
+        failures (reset/dropped connections, timeouts, an unreachable
+        daemon) are retried — an HTTP error is the daemon *answering*,
+        and is raised immediately with its typed code.
+        """
+        if idempotent is None:
+            idempotent = method == "GET"
         url = self.base_url + path
         if query:
             pairs = "&".join(f"{k}={v}" for k, v in query.items())
@@ -87,25 +129,49 @@ class ServiceClient:
             method=method,
             headers={"Content-Type": "application/json"},
         )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=timeout if timeout is not None else self.timeout
-            ) as response:
-                return json.loads(response.read().decode())
-        except urllib.error.HTTPError as error:
+        attempts = self.retries + 1 if idempotent else 1
+        last_error: "Exception | None" = None
+        for attempt in range(attempts):
             try:
-                detail = json.loads(error.read().decode()).get("error", {})
-            except ValueError:
-                detail = {}
-            raise ServiceClientError(
-                error.code,
-                detail.get("code", "http-error"),
-                detail.get("message", str(error)),
-            ) from None
-        except urllib.error.URLError as error:
-            raise ServiceClientError(
-                0, "unreachable", f"cannot reach {self.base_url}: {error.reason}"
-            ) from None
+                with urllib.request.urlopen(
+                    request,
+                    timeout=timeout if timeout is not None else self.timeout,
+                ) as response:
+                    return json.loads(response.read().decode())
+            except urllib.error.HTTPError as error:
+                try:
+                    detail = json.loads(error.read().decode()).get("error", {})
+                except ValueError:
+                    detail = {}
+                retry_after = detail.get("retry_after")
+                raise ServiceClientError(
+                    error.code,
+                    detail.get("code", "http-error"),
+                    detail.get("message", str(error)),
+                    retry_after=(
+                        float(retry_after) if retry_after is not None else None
+                    ),
+                ) from None
+            except (
+                urllib.error.URLError,
+                ConnectionResetError,
+                http.client.HTTPException,
+                TimeoutError,
+            ) as error:
+                last_error = error
+                if attempt + 1 >= attempts:
+                    break
+                # Bounded exponential backoff with jitter so a fleet of
+                # clients does not re-land on the daemon in lockstep.
+                time.sleep(
+                    self.retry_backoff
+                    * (2**attempt)
+                    * (1 + 0.25 * random.random())
+                )
+        reason = getattr(last_error, "reason", None) or last_error
+        raise ServiceClientError(
+            0, "unreachable", f"cannot reach {self.base_url}: {reason}"
+        ) from None
 
     # ------------------------------------------------------------------
     # Health & datasets
@@ -161,6 +227,7 @@ class ServiceClient:
         options: AlgorithmOptions | dict | None = None,
         use_cache: bool = True,
         checkpoint: bool = True,
+        deadline_seconds: float | None = None,
     ) -> JobRecord:
         """Submit one mining job.
 
@@ -187,6 +254,7 @@ class ServiceClient:
             options=options_payload,
             use_cache=use_cache,
             checkpoint=checkpoint,
+            deadline_seconds=deadline_seconds,
         )
         return JobRecord.from_dict(
             self._request("POST", "/v1/jobs", payload=spec.to_dict())
@@ -297,6 +365,7 @@ class ServiceClient:
         options: AlgorithmOptions | dict | None = None,
         use_cache: bool = True,
         timeout: float | None = None,
+        deadline_seconds: float | None = None,
     ) -> ServiceResult:
         """Submit, wait, and fetch — the service twin of :func:`repro.mine`."""
         record = self.submit(
@@ -305,6 +374,7 @@ class ServiceClient:
             algorithm=algorithm,
             options=options,
             use_cache=use_cache,
+            deadline_seconds=deadline_seconds,
         )
         record = self.wait(record.id, timeout=timeout)
         if record.status != "done":

@@ -8,9 +8,14 @@ record.  Registering the same cell content twice — even under different
 labels — lands on the same entry, which is exactly what makes the
 threshold-lattice result cache shareable across uploaders.
 
-Writes are atomic (tmp file + ``os.replace``), so a daemon killed
-mid-upload never leaves a half-written dataset behind; an ``.npz``
-without its ``.json`` twin (or vice versa) is ignored on scan.
+Writes are atomic (tmp file + ``os.replace`` through the
+:class:`~repro.chaos.io.IOShim`, rolled back on failure), so a daemon
+killed mid-upload never leaves a half-written dataset behind; an
+``.npz`` without its ``.json`` twin (or vice versa) is ignored on scan.
+Reads verify: :meth:`DatasetRegistry.load` re-fingerprints the loaded
+tensor against its content address and raises a typed
+:class:`~repro.chaos.io.StoreCorruptionError` on mismatch — corrupt
+bytes never reach a miner.
 """
 
 from __future__ import annotations
@@ -22,8 +27,10 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..chaos.io import IOShim, StoreCorruptionError
 from ..core.dataset import Dataset3D
 from ..io import dataset_fingerprint
+from ..obs.metrics import ChaosCounters
 
 __all__ = ["DatasetEntry", "DatasetRegistry"]
 
@@ -58,9 +65,17 @@ class DatasetEntry:
 class DatasetRegistry:
     """Content-addressed persistent dataset store."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        io: "IOShim | None" = None,
+        chaos: "ChaosCounters | None" = None,
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.io = io if io is not None else IOShim()
+        self.chaos = chaos if chaos is not None else ChaosCounters()
         self._lock = threading.Lock()
         self._entries: dict[str, DatasetEntry] = {}
         self._scan()
@@ -96,11 +111,20 @@ class DatasetRegistry:
             # The tmp name must keep the .npz suffix: numpy appends one
             # to anything else, and the rename source would not exist.
             npz_tmp = self.root / f".{fp}.tmp.npz"
-            dataset.save_npz(npz_tmp)
-            os.replace(npz_tmp, self.root / f"{fp}.npz")
-            meta_tmp = self.root / f".{fp}.json.tmp"
-            meta_tmp.write_text(json.dumps(entry.to_dict(), indent=2))
-            os.replace(meta_tmp, self.root / f"{fp}.json")
+            try:
+                dataset.save_npz(npz_tmp)
+            except OSError:
+                try:
+                    os.unlink(npz_tmp)
+                except OSError:
+                    pass
+                raise
+            self.io.atomic_finalize("registry", npz_tmp, self.root / f"{fp}.npz")
+            self.io.atomic_write_text(
+                "registry",
+                self.root / f"{fp}.json",
+                json.dumps(entry.to_dict(), indent=2),
+            )
             self._entries[fp] = entry
             return entry
 
@@ -121,9 +145,35 @@ class DatasetRegistry:
         self.get(fingerprint)
         return self.root / f"{fingerprint}.npz"
 
-    def load(self, fingerprint: str) -> Dataset3D:
-        """Materialize a registered dataset."""
-        return Dataset3D.load_npz(self.path(fingerprint))
+    def load(self, fingerprint: str, *, verify: bool = True) -> Dataset3D:
+        """Materialize a registered dataset, verified against its address.
+
+        ``verify=True`` (the default) re-fingerprints the loaded tensor;
+        a mismatch — disk rot, a truncated write that survived, anything
+        — raises :class:`~repro.chaos.io.StoreCorruptionError` instead
+        of letting corrupt cells masquerade as the registered dataset.
+        """
+        path = self.path(fingerprint)
+        self.io.check("registry", "read", str(path))
+        try:
+            dataset = Dataset3D.load_npz(path)
+        except OSError:
+            raise
+        except Exception as error:  # numpy/zipfile raise untyped decode errors
+            self.chaos.corruption_detected += 1
+            raise StoreCorruptionError(
+                "registry", path, f"unreadable npz: {error}"
+            ) from error
+        if verify:
+            actual = dataset_fingerprint(dataset)
+            if actual != fingerprint:
+                self.chaos.corruption_detected += 1
+                raise StoreCorruptionError(
+                    "registry",
+                    path,
+                    f"fingerprint {actual[:12]} != expected {fingerprint[:12]}",
+                )
+        return dataset
 
     def list(self) -> list[DatasetEntry]:
         """All entries, newest first."""

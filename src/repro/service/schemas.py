@@ -36,21 +36,39 @@ SCHEMA_VERSION = 1
 #: Lifecycle states of a job, in order of progression.  ``queued`` and
 #: ``running`` jobs survive a daemon restart (they are requeued and —
 #: for checkpointed parallel jobs — resume from their journal);
-#: ``done`` / ``failed`` / ``cancelled`` are terminal.
-JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled")
+#: ``done`` / ``failed`` / ``cancelled`` / ``quarantined`` are terminal.
+#: ``quarantined`` marks a poison job that exhausted its retry budget:
+#: its directory moves under ``jobs/quarantined/`` with a manifest and
+#: fault trace, and it is never requeued again.
+JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled", "quarantined")
 
 
 class ServiceError(Exception):
-    """A request-level failure with an HTTP status and a stable code."""
+    """A request-level failure with an HTTP status and a stable code.
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    ``retry_after`` (seconds) rides along on backpressure rejections
+    (HTTP 429) and renders as a ``Retry-After`` response header.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retry_after: "float | None" = None,
+    ) -> None:
         super().__init__(message)
         self.status = int(status)
         self.code = code
         self.message = message
+        self.retry_after = retry_after
 
     def to_payload(self) -> dict:
-        return {"error": {"code": self.code, "message": self.message}}
+        detail: dict = {"code": self.code, "message": self.message}
+        if self.retry_after is not None:
+            detail["retry_after"] = self.retry_after
+        return {"error": detail}
 
 
 @dataclass(frozen=True)
@@ -80,11 +98,21 @@ class JobSpec:
     use_cache: bool = True
     checkpoint: bool = True
     maintain: dict | None = None
+    #: Per-request wall-clock budget (seconds).  The worker passes it to
+    #: ``mine(deadline=...)``; a run cut short fails with a typed
+    #: ``deadline-exceeded`` error (never retried — a deadline is a
+    #: property of the request, not an infrastructure fault).  Omitted
+    #: from the wire form when unset.
+    deadline_seconds: float | None = None
 
     def validate(self) -> None:
         """Fail loudly on an unknown algorithm or malformed options."""
         get_algorithm(self.algorithm)  # raises ValueError on unknown names
         options_from_dict(self.algorithm, self.options)
+        if self.deadline_seconds is not None and not self.deadline_seconds > 0:
+            raise ValueError(
+                f"'deadline_seconds' must be positive, got {self.deadline_seconds!r}"
+            )
         if self.maintain is not None:
             if not isinstance(self.maintain, dict):
                 raise ValueError("'maintain' must be a JSON object")
@@ -107,6 +135,8 @@ class JobSpec:
         }
         if self.maintain is not None:
             payload["maintain"] = dict(self.maintain)
+        if self.deadline_seconds is not None:
+            payload["deadline_seconds"] = self.deadline_seconds
         return payload
 
     @classmethod
@@ -125,6 +155,14 @@ class JobSpec:
         maintain = payload.get("maintain")
         if maintain is not None and not isinstance(maintain, dict):
             raise ValueError(f"'maintain' must be a JSON object, got {maintain!r}")
+        deadline = payload.get("deadline_seconds")
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"'deadline_seconds' must be a number, got {deadline!r}"
+                ) from None
         return cls(
             dataset=dataset,
             thresholds=Thresholds.from_dict(raw_thresholds),
@@ -133,6 +171,7 @@ class JobSpec:
             use_cache=bool(payload.get("use_cache", True)),
             checkpoint=bool(payload.get("checkpoint", True)),
             maintain=dict(maintain) if maintain is not None else None,
+            deadline_seconds=deadline,
         )
 
 
@@ -147,7 +186,11 @@ class JobRecord:
     ``cache_hit`` / ``filtered_from`` carry the provenance of a job
     answered by the threshold-lattice cache instead of a fresh mine.
     ``attempts`` counts daemon-side (re)starts: a job requeued after a
-    daemon restart shows ``attempts > 1``.
+    daemon restart shows ``attempts > 1``.  ``retries`` counts
+    *failure-driven* requeues only (crash/infrastructure errors spent
+    against the manager's retry budget) — a restart requeue is free,
+    a retry is not, and a job whose retries exceed the budget is
+    quarantined.
     """
 
     id: str
@@ -161,6 +204,7 @@ class JobRecord:
     filtered_from: Thresholds | None = None
     n_cubes: int | None = None
     attempts: int = 0
+    retries: int = 0
     progress: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -181,6 +225,7 @@ class JobRecord:
             ),
             "n_cubes": self.n_cubes,
             "attempts": self.attempts,
+            "retries": self.retries,
             "progress": dict(self.progress),
         }
 
@@ -206,10 +251,11 @@ class JobRecord:
             ),
             n_cubes=payload.get("n_cubes"),
             attempts=int(payload.get("attempts", 0)),
+            retries=int(payload.get("retries", 0)),
             progress=dict(payload.get("progress") or {}),
         )
 
     @property
     def terminal(self) -> bool:
         """True once the job can no longer change state."""
-        return self.status in ("done", "failed", "cancelled")
+        return self.status in ("done", "failed", "cancelled", "quarantined")

@@ -28,7 +28,6 @@ to the wrong base raises :class:`DeltaLogMismatchError`.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Union
@@ -366,9 +365,17 @@ class DeltaLog:
     """
 
     def __init__(
-        self, path: Path, header: dict, batches: list[dict]
+        self,
+        path: Path,
+        header: dict,
+        batches: list[dict],
+        *,
+        io=None,
     ) -> None:
+        from ..chaos.io import IOShim
+
         self.path = path
+        self.io = io if io is not None else IOShim()
         self._header = header
         self._batches = batches
 
@@ -383,13 +390,15 @@ class DeltaLog:
         dataset: "Dataset3D | None" = None,
         fingerprint: "str | None" = None,
         shape: "tuple[int, int, int] | None" = None,
+        io=None,
     ) -> "DeltaLog":
         """Open a delta log, creating it when missing.
 
         The base tensor is named either directly (``fingerprint`` +
         ``shape``) or via ``dataset``.  An existing log must match that
         base (:class:`DeltaLogMismatchError` otherwise); a new log
-        requires it.
+        requires it.  ``io`` is the :class:`~repro.chaos.io.IOShim`
+        appends route through (the hardened default when unset).
         """
         path = Path(path)
         if dataset is not None:
@@ -404,7 +413,7 @@ class DeltaLog:
                     f"{path} is bound to base {header.get('fingerprint')!r}, "
                     f"not {fingerprint!r}"
                 )
-            return cls(path, header, batches)
+            return cls(path, header, batches, io=io)
         if fingerprint is None or shape is None:
             raise ValueError(
                 "creating a delta log needs a base dataset or a "
@@ -417,11 +426,10 @@ class DeltaLog:
             "shape": [int(d) for d in shape],
         }
         path.parent.mkdir(parents=True, exist_ok=True)
+        log = cls(path, header, [], io=io)
         with open(path, "a") as handle:
-            handle.write(json.dumps(header) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        return cls(path, header, [])
+            log.io.append_line("delta", handle, json.dumps(header))
+        return log
 
     # ------------------------------------------------------------------
     # Introspection
@@ -469,9 +477,7 @@ class DeltaLog:
             "fingerprint": fingerprint,
         }
         with open(self.path, "a") as handle:
-            handle.write(json.dumps(record) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+            self.io.append_line("delta", handle, json.dumps(record))
         self._batches.append(record)
         return record["seq"]
 

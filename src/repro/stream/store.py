@@ -34,6 +34,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..chaos.io import IOShim, StoreCorruptionError, sha256_file
 from ..core.dataset import Dataset3D
 from ..core.kernels import (
     Kernel,
@@ -43,6 +44,7 @@ from ..core.kernels import (
 )
 from ..core.kernels.base import WORD_DTYPE
 from ..io import dataset_fingerprint
+from ..obs.metrics import ChaosCounters
 
 __all__ = ["MmapDatasetStore", "StreamingSliceWriter"]
 
@@ -97,11 +99,61 @@ class _FingerprintStream:
 
 
 class MmapDatasetStore:
-    """Content-addressed store of packed, memory-mappable datasets."""
+    """Content-addressed store of packed, memory-mappable datasets.
 
-    def __init__(self, root: "str | Path") -> None:
+    Opening a store sweeps temp-file debris from earlier hard kills: a
+    ``.*.tmp.*`` file older than the newest committed entry cannot
+    belong to a write still in flight, so it is removed (and counted in
+    ``chaos.stale_temps_swept``).  Entries record the digest of their
+    packed grid in the ``.json`` sidecar; :meth:`verify` re-hashes the
+    file against it.
+    """
+
+    def __init__(
+        self,
+        root: "str | Path",
+        *,
+        io: "IOShim | None" = None,
+        chaos: "ChaosCounters | None" = None,
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.io = io if io is not None else IOShim()
+        self.chaos = chaos if chaos is not None else ChaosCounters()
+        self._sweep_stale_temps()
+
+    def _sweep_stale_temps(self) -> int:
+        """Remove temp debris that provably outlived its writer.
+
+        Only temps strictly older than the newest committed ``.npy``
+        are swept — anything newer might still be an in-flight
+        :class:`StreamingSliceWriter` (which cleans up after itself on
+        a soft failure; this sweep is for hard kills).  A store with no
+        committed entries has no age baseline and sweeps nothing.
+        """
+        committed = []
+        for path in self.root.glob("*.npy"):
+            if path.name.startswith("."):
+                continue
+            try:
+                committed.append(path.stat().st_mtime)
+            except OSError:
+                continue
+        if not committed:
+            return 0
+        newest = max(committed)
+        swept = 0
+        for tmp in self.root.glob(".*"):
+            if ".tmp" not in tmp.name:
+                continue
+            try:
+                if tmp.stat().st_mtime < newest:
+                    tmp.unlink()
+                    swept += 1
+            except OSError:
+                continue
+        self.chaos.stale_temps_swept += swept
+        return swept
 
     # ------------------------------------------------------------------
     # Paths
@@ -127,8 +179,19 @@ class MmapDatasetStore:
             return fingerprint
         words = words_from_tensor(np.asarray(dataset.data, dtype=bool))
         tmp = self.root / f".{fingerprint}.tmp.npy"
-        np.save(tmp, words)
-        os.replace(tmp, self.path(fingerprint))
+        try:
+            np.save(tmp, words)
+            # Digest the bytes we *meant* to commit, before the rename:
+            # anything that mutates the file afterwards (chaos faults,
+            # disk rot) is exactly what verify() must catch.
+            digest = sha256_file(tmp)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.io.atomic_finalize("mmap", tmp, self.path(fingerprint))
         self._write_meta(
             fingerprint,
             dataset.shape,
@@ -136,6 +199,7 @@ class MmapDatasetStore:
             dataset.height_labels,
             dataset.row_labels,
             dataset.column_labels,
+            sha256=digest,
         )
         return fingerprint
 
@@ -147,6 +211,8 @@ class MmapDatasetStore:
         height_labels,
         row_labels,
         column_labels,
+        *,
+        sha256: "str | None" = None,
     ) -> None:
         meta = {
             "schema": META_VERSION,
@@ -158,9 +224,11 @@ class MmapDatasetStore:
             "column_labels": [str(s) for s in column_labels],
             "created": time.time(),
         }
-        tmp = self.root / f".{fingerprint}.tmp.json"
-        tmp.write_text(json.dumps(meta, indent=2))
-        os.replace(tmp, self.meta_path(fingerprint))
+        if sha256 is not None:
+            meta["sha256"] = sha256
+        self.io.atomic_write_text(
+            "mmap", self.meta_path(fingerprint), json.dumps(meta, indent=2)
+        )
 
     def writer(
         self,
@@ -188,6 +256,28 @@ class MmapDatasetStore:
         if not path.exists():
             raise KeyError(f"no stored dataset {fingerprint!r}")
         return json.loads(path.read_text())
+
+    def verify(self, fingerprint: str) -> None:
+        """Re-hash one entry's packed grid against its recorded digest.
+
+        A whole-file hash defeats the point of memory-mapping on every
+        open, so verification is explicit: ``repro-fcc fsck`` and the
+        chaos battery call it; hot paths trust the digest until asked.
+        Raises :class:`~repro.chaos.io.StoreCorruptionError` on
+        mismatch, does nothing for pre-digest legacy entries.
+        """
+        meta = self.meta(fingerprint)
+        expected = meta.get("sha256")
+        if not expected:
+            return
+        actual = sha256_file(self.path(fingerprint))
+        if actual != expected:
+            self.chaos.corruption_detected += 1
+            raise StoreCorruptionError(
+                "mmap",
+                self.path(fingerprint),
+                f"sha256 {actual[:12]} != recorded {expected[:12]}",
+            )
 
     def open(
         self, fingerprint: str, *, kernel: "str | Kernel | None" = None
@@ -293,7 +383,10 @@ class StreamingSliceWriter:
         self._grid.flush()
         self._grid = None
         fingerprint = self._fingerprint.hexdigest()
-        os.replace(self._tmp, self.store.path(fingerprint))
+        digest = sha256_file(self._tmp)
+        self.store.io.atomic_finalize(
+            "mmap", self._tmp, self.store.path(fingerprint)
+        )
         self.store._write_meta(
             fingerprint,
             self.shape,
@@ -301,6 +394,7 @@ class StreamingSliceWriter:
             self._labels[0] or [f"h{i + 1}" for i in range(self.shape[0])],
             self._labels[1] or [f"r{i + 1}" for i in range(self.shape[1])],
             self._labels[2] or [f"c{i + 1}" for i in range(self.shape[2])],
+            sha256=digest,
         )
         return fingerprint
 
