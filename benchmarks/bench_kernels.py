@@ -1,34 +1,58 @@
 """Kernel backend comparison on the Figure 3-5 workloads.
 
-Runs every registered kernel backend (``python-int``, ``numpy``, plus
-any future registrations) over representative points of the paper's
-Figure 3 minC sweeps and the Figure 4/5 minH/minR settings, for both
-CubeMiner and RSM.  Each point asserts that all backends return the
-same number of cubes (the differential test suite proves full
-equality; the assertion here guards the benchmark itself against
-drift) and records per-kernel wall times.
+Runs every registered kernel backend (``python-int``, ``numpy``,
+``native`` when the C extension is built) over representative points of
+the paper's Figure 3 minC sweeps and the Figure 4/5 minH/minR settings,
+for both CubeMiner and RSM.  Each point asserts that all backends
+return the *identical* cube list (the differential test suite proves
+the full contract; the assertion here guards the benchmark itself
+against drift) and records per-kernel wall times.
 
-Standalone runs additionally write ``BENCH_kernels.json`` at the repo
-root — the machine-readable perf trajectory for the backend layer::
+A fold microbench isolates the primitive the miners spend their time
+in — ``intersect_rows`` (per-row AND over a height selection) plus
+``popcounts`` on the elutriation-scale grid — away from enumeration
+overhead, which is where a backend's raw speed shows before it is
+diluted by tree bookkeeping.
 
-    python benchmarks/bench_kernels.py [output.json]
+Standalone runs write ``BENCH_kernels.json`` at the repo root — the
+machine-readable perf trajectory for the backend layer::
+
+    python benchmarks/bench_kernels.py [--output BENCH_kernels.json]
+
+``--check`` replays the fold microbench and enforces the native floor
+committed with the native backend: native must hold >= 1.5x over numpy
+on the fold microbench (interleaved timing, best-of-rounds median) and
+every backend must produce bit-identical cube lists.  CI's native legs
+run this; without the extension ``--check`` fails unless
+``--skip-missing`` declares the narrowing instead.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
 
 import pytest
 
-from common import cdc15_bench, elutriation_bench, print_series_table, scale_minc, timed
+from common import (
+    SweepSkipped,
+    cdc15_bench,
+    elutriation_bench,
+    print_series_table,
+    scale_minc,
+    timed,
+)
 from repro.core.constraints import Thresholds
-from repro.core.kernels import available_kernels
+from repro.core.kernels import available_kernels, get_kernel
 from repro.cubeminer import cubeminer_mine
 from repro.rsm import rsm_mine
 
 KERNELS = list(available_kernels())
+
+#: The committed perf floor: native over numpy on the fold microbench.
+NATIVE_FOLD_FLOOR = 1.5
 
 _DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
 
@@ -88,7 +112,55 @@ def test_kernel_point(benchmark, kernel, point):
     benchmark.pedantic(runner, args=(dataset, thresholds), rounds=1, iterations=1)
 
 
-def sweep(output: Path | None = _DEFAULT_OUTPUT) -> dict:
+# ----------------------------------------------------------------------
+# Fold microbench: the raw intersect-and-count primitive
+# ----------------------------------------------------------------------
+
+def _fold_selections(l: int) -> list[int]:
+    """A deterministic spread of height-subset bitmasks over ``l`` slices."""
+    selections = []
+    for size in (2, 3, 4, l - 1, l):
+        base = (1 << size) - 1
+        for shift in range(0, l - size + 1, 2):
+            selections.append(base << shift)
+    return selections
+
+
+def fold_microbench(kernels: list[str], repeats: int = 25) -> dict[str, float]:
+    """Seconds per kernel for the intersect_rows + popcounts fold loop.
+
+    Timing is interleaved (one full pass per kernel, alternating) so
+    machine noise hits every backend equally; the caller aggregates
+    across rounds.
+    """
+    dataset = elutriation_bench()
+    _l, _n, m = dataset.shape
+    selections = _fold_selections(dataset.shape[0])
+    grids = {
+        name: get_kernel(name).pack_grid_from_tensor(dataset.data)
+        for name in kernels
+    }
+    totals = dict.fromkeys(kernels, 0.0)
+    for _ in range(repeats):
+        for name in kernels:
+            kernel = get_kernel(name)
+            grid = grids[name]
+
+            def one_pass(kernel=kernel, grid=grid):
+                for heights in selections:
+                    folded = kernel.intersect_rows(grid, heights, m)
+                    kernel.popcounts(folded)
+
+            t, _ = timed(one_pass)
+            totals[name] += t
+    return totals
+
+
+# ----------------------------------------------------------------------
+# Sweeps and gates
+# ----------------------------------------------------------------------
+
+def sweep(output: Path | None = None, fold_repeats: int = 25) -> dict:
     """Time every workload under every kernel; optionally write JSON."""
     records = []
     series: dict[str, list[float]] = {name: [] for name in KERNELS}
@@ -96,21 +168,25 @@ def sweep(output: Path | None = _DEFAULT_OUTPUT) -> dict:
     counts: list[int] = []
     for name, figure, factory, ds_label, runner, alg, thresholds in WORKLOADS:
         seconds: dict[str, float] = {}
-        n_cubes: int | None = None
+        cubes: set | None = None
+        n_cubes = 0
         for kernel in KERNELS:
             dataset = factory().with_kernel(kernel)
             t, result = timed(runner, dataset, thresholds)
             seconds[kernel] = round(t, 4)
-            if n_cubes is None:
-                n_cubes = len(result)
-            elif len(result) != n_cubes:
+            found = {(c.heights, c.rows, c.columns) for c in result.cubes}
+            if cubes is None:
+                cubes = found
+                n_cubes = len(found)
+            elif found != cubes:
                 raise AssertionError(
-                    f"{name}: kernel {kernel!r} found {len(result)} cubes, "
-                    f"expected {n_cubes}"
+                    f"{name}: kernel {kernel!r} mined a different cube set "
+                    f"({len(found)} cubes vs {n_cubes}); backends must be "
+                    f"bit-identical"
                 )
             series[kernel].append(t)
         labels.append(name)
-        counts.append(n_cubes or 0)
+        counts.append(n_cubes)
         records.append({
             "name": name,
             "figure": figure,
@@ -124,12 +200,135 @@ def sweep(output: Path | None = _DEFAULT_OUTPUT) -> dict:
         "Kernel backends on Figure 3-5 workloads",
         "workload", labels, series, counts=counts,
     )
-    payload = {"kernels": KERNELS, "workloads": records}
+    fold = fold_microbench(KERNELS, repeats=fold_repeats)
+    print("\n== Fold microbench (intersect_rows + popcounts, elutriation grid) ==")
+    for name in KERNELS:
+        line = f"{name:>12}: {fold[name]:.4f}s"
+        if name != "python-int" and fold.get("python-int"):
+            line += f"  ({fold['python-int'] / fold[name]:.2f}x over python-int)"
+        print(line)
+    payload = {
+        "kernels": KERNELS,
+        "fold_microbench": {
+            "repeats": fold_repeats,
+            "seconds": {name: round(fold[name], 4) for name in KERNELS},
+            "native_floor_over_numpy": NATIVE_FOLD_FLOOR,
+        },
+        "workloads": records,
+    }
     if output is not None:
         output.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nper-kernel wall times written to {output}")
     return payload
 
 
+def sweep_skips() -> list[str]:
+    """Environmental narrowings of this module's sweep, for run_all.py."""
+    if "native" not in KERNELS:
+        from repro.core.kernels import native_import_error
+
+        return [
+            "native kernel series omitted: the _native C extension is not "
+            f"built ({native_import_error() or 'unknown reason'})"
+        ]
+    return []
+
+
+def check(rounds: int = 3, fold_repeats: int = 10, skip_missing: bool = False) -> None:
+    """Enforce the native perf floor and cross-backend cube identity.
+
+    Raises :class:`AssertionError` on a violated gate, or
+    :class:`~common.SweepSkipped` when native is absent and
+    ``skip_missing`` declares that narrowing acceptable.
+    """
+    if "native" not in KERNELS:
+        from repro.core.kernels import native_import_error
+
+        message = (
+            "native kernel unavailable "
+            f"({native_import_error() or 'extension not built'})"
+        )
+        if skip_missing:
+            raise SweepSkipped(f"bench_kernels --check skipped: {message}")
+        raise AssertionError(
+            f"--check needs the native backend: {message} "
+            "(pass --skip-missing to declare this narrowing instead)"
+        )
+
+    # Gate 1: bit-identical cube lists on a representative workload mix
+    # (one point per figure family, both algorithms).
+    for point in (WORKLOADS[0], WORKLOADS[1], WORKLOADS[6], WORKLOADS[11]):
+        name, _fig, factory, _ds, runner, _alg, thresholds = point
+        cubes = None
+        for kernel in KERNELS:
+            result = runner(factory().with_kernel(kernel), thresholds)
+            found = {(c.heights, c.rows, c.columns) for c in result.cubes}
+            if cubes is None:
+                cubes = found
+            elif found != cubes:
+                raise AssertionError(
+                    f"{name}: kernel {kernel!r} mined a different cube set"
+                )
+        print(f"cube identity OK across {KERNELS}: {name} ({len(cubes or ())} cubes)")
+
+    # Gate 2: the fold floor, best ratio across rounds so one noisy
+    # round cannot fail a healthy build.
+    ratios = []
+    for _ in range(max(1, rounds)):
+        fold = fold_microbench(["numpy", "native"], repeats=fold_repeats)
+        ratios.append(fold["numpy"] / fold["native"])
+    best = max(ratios)
+    print(
+        f"fold microbench: native {best:.2f}x over numpy "
+        f"(rounds: {', '.join(f'{r:.2f}x' for r in ratios)}; "
+        f"floor {NATIVE_FOLD_FLOOR}x)"
+    )
+    if best < NATIVE_FOLD_FLOOR:
+        raise AssertionError(
+            f"native kernel is only {best:.2f}x over numpy on the fold "
+            f"microbench; the committed floor is {NATIVE_FOLD_FLOOR}x"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "output", nargs="?", type=Path, default=_DEFAULT_OUTPUT,
+        help="JSON output path for the sweep (default: BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="enforce the native>=1.5x fold floor and cross-backend cube "
+             "identity instead of running the full sweep",
+    )
+    parser.add_argument(
+        "--skip-missing", action="store_true",
+        help="with --check: declare a skip (exit 0) when the native "
+             "extension is not built, instead of failing",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="--check timing rounds; the best round must clear the floor",
+    )
+    parser.add_argument(
+        "--fold-repeats", type=int, default=10,
+        help="fold-microbench passes per kernel per round",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        try:
+            check(
+                rounds=args.rounds,
+                fold_repeats=args.fold_repeats,
+                skip_missing=args.skip_missing,
+            )
+        except SweepSkipped as skip:
+            print(skip)
+            return 0
+        return 0
+    sweep(args.output, fold_repeats=max(args.fold_repeats, 25))
+    return 0
+
+
 if __name__ == "__main__":
-    sweep(Path(sys.argv[1]) if len(sys.argv) > 1 else _DEFAULT_OUTPUT)
+    sys.exit(main())

@@ -34,6 +34,7 @@ import traceback
 from pathlib import Path
 
 import bench_ablation
+import bench_kernels
 import bench_perf
 import bench_robustness
 import bench_stream
@@ -44,6 +45,7 @@ import bench_fig5_vary_minr
 import bench_fig6_parallel
 import bench_fig7_vary_heights
 import bench_fig8_large
+from common import SweepSkipped
 
 MODULES = [
     bench_fig2_ordering,
@@ -55,6 +57,7 @@ MODULES = [
     bench_fig8_large,
     bench_ablation,
     bench_robustness,
+    bench_kernels,
     bench_perf,
     bench_stream,
 ]
@@ -96,6 +99,8 @@ def main(
     grand_start = time.perf_counter()
     records: dict[str, dict] = {}
     failed: list[str] = []
+    skipped: list[str] = []
+    narrowed: list[str] = []
     for module in MODULES:
         name = module.__name__
         print(f"\n### {name} ###")
@@ -104,6 +109,19 @@ def main(
         try:
             with contextlib.redirect_stdout(buffer):
                 module.sweep()
+        except SweepSkipped as skip:
+            # A declared environmental skip (e.g. the native kernel is
+            # not built): reported in the summary, not a failure.
+            skipped.append(name)
+            text = buffer.getvalue()
+            print(text, end="")
+            print(f"### {name} SKIPPED: {skip} ###")
+            records[name] = {
+                "elapsed_seconds": round(time.perf_counter() - start, 3),
+                "table_lines": text.splitlines(),
+                "skipped": str(skip),
+            }
+            continue
         except Exception:
             # A broken sweep must not hide the remaining figures, but
             # the run as a whole reports failure (non-zero exit).
@@ -127,6 +145,15 @@ def main(
             "elapsed_seconds": round(elapsed, 3),
             "table_lines": text.splitlines(),
         }
+        # Sweeps may narrow themselves for environmental reasons (a
+        # backend series omitted); surface every declared narrowing so
+        # a partial sweep cannot pass for a complete one.
+        narrowings = getattr(module, "sweep_skips", lambda: [])()
+        for reason in narrowings:
+            narrowed.append(f"{name}: {reason}")
+            print(f"### {name} NARROWED: {reason} ###")
+        if narrowings:
+            records[name]["narrowed"] = list(narrowings)
     total = time.perf_counter() - grand_start
     if write_json or with_metrics:
         payload = {
@@ -139,11 +166,20 @@ def main(
         json_path = out_root / "results.json"
         json_path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"json results in {json_path}")
+    if skipped:
+        print(f"\n{len(skipped)} sweep(s) skipped (declared, not failures): "
+              f"{', '.join(skipped)}")
+    if narrowed:
+        print(f"{len(narrowed)} sweep narrowing(s):")
+        for line in narrowed:
+            print(f"  - {line}")
     if failed:
         print(f"\n{len(failed)} sweep(s) FAILED: {', '.join(failed)}",
               file=sys.stderr)
         return 1
-    print(f"\nall sweeps done in {total:.1f}s; tables in {out_root}/")
+    done = len(MODULES) - len(skipped)
+    print(f"\n{done}/{len(MODULES)} sweeps done in {total:.1f}s; "
+          f"tables in {out_root}/")
     return 0
 
 

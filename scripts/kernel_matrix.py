@@ -1,0 +1,77 @@
+"""Run the kernel differential + property suites over every backend.
+
+The CI ``kernel-matrix`` job calls this instead of bare pytest so the
+run is *provably complete*:
+
+1. Probe the registry.  Every backend the registry *knows*
+   (``known_kernels()``) must actually be runnable here
+   (``available_kernels()``) — a known-but-unavailable backend (e.g.
+   ``native`` whose extension failed to build) means the job would
+   silently exercise fewer kernels than the registry advertises, which
+   is exactly the failure mode this job exists to prevent.
+2. Run the suites with ``REPRO_REQUIRE_KERNELS`` set to the probed
+   list.  The guard test in ``tests/test_kernels.py`` re-asserts the
+   availability *inside* the pytest process, so a discrepancy between
+   the probe interpreter and the test interpreter also fails.
+
+Usage::
+
+    PYTHONPATH=src python scripts/kernel_matrix.py [--allow-missing native]
+
+``--allow-missing`` downgrades a named backend's absence to a warning —
+for local runs without a compiler; CI never passes it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+
+SUITES = [
+    "tests/test_kernel_differential.py",
+    "tests/test_kernel_properties.py",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--allow-missing", action="append", default=[], metavar="KERNEL",
+        help="tolerate this known backend being unavailable (repeatable)",
+    )
+    args, pytest_args = parser.parse_known_args(argv)
+
+    from repro.core.kernels import available_kernels, known_kernels
+
+    available = set(available_kernels())
+    known = set(known_kernels())
+    missing = known - available
+    fatal = missing - set(args.allow_missing)
+    if fatal:
+        from repro.core.kernels import native_import_error
+
+        for name in sorted(fatal):
+            reason = (
+                native_import_error() if name == "native" else "unavailable"
+            )
+            print(
+                f"ERROR: registry advertises kernel {name!r} but it cannot "
+                f"run here ({reason}); the matrix would silently skip it",
+                file=sys.stderr,
+            )
+        return 1
+    for name in sorted(missing & set(args.allow_missing)):
+        print(f"WARNING: skipping unavailable kernel {name!r} (--allow-missing)")
+
+    exercised = sorted(available)
+    print(f"kernel matrix over: {', '.join(exercised)}")
+    env = dict(os.environ)
+    env["REPRO_REQUIRE_KERNELS"] = ",".join(exercised)
+    command = [sys.executable, "-m", "pytest", "-q", *SUITES, *pytest_args]
+    return subprocess.call(command, env=env)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,98 @@
-"""Setuptools shim.
+"""Setuptools build with the optional ``_native`` C extension.
 
-Metadata lives in pyproject.toml; this file exists so that legacy
-editable installs (``pip install -e . --no-use-pep517``) work in offline
-environments that lack the ``wheel`` package required by PEP 517 builds.
+Metadata lives in pyproject.toml.  This file adds the one thing
+declarative metadata cannot express: a *best-effort* native extension.
+``repro.core.kernels._native`` accelerates the bitset kernel hot loops
+(see ``src/repro/core/kernels/_native.c``); every algorithm works
+without it, so a missing or broken C toolchain must degrade to a
+pure-Python install rather than fail.
+
+Environment knobs:
+
+``REPRO_NATIVE=0``
+    Skip the extension entirely (source-only install; the kernel
+    registry then reports ``native`` as known-but-unavailable).
+``REPRO_REQUIRE_NATIVE=1``
+    Turn build failures into hard errors instead of a warning — CI's
+    native legs set this so a broken extension cannot silently fall
+    back to numpy and still pass.
+``REPRO_NATIVE_AVX2=1``
+    Add ``-mavx2`` so the AVX2 paths in ``_native.c`` compile in.
+    Off by default: wheels built for distribution must run on any
+    x86-64, and the word-at-a-time scalar paths are already fast.
 """
 
-from setuptools import setup
+from __future__ import annotations
 
-setup()
+import os
+import sys
+
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+try:
+    from setuptools.errors import BaseError as _SetuptoolsError
+except ImportError:  # setuptools < 59
+    _SetuptoolsError = Exception  # type: ignore[assignment,misc]
+
+
+def _flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+def _extensions() -> list[Extension]:
+    if os.environ.get("REPRO_NATIVE", "1").strip().lower() in {"0", "false", "no", "off"}:
+        return []
+    if sys.platform == "win32":
+        compile_args: list[str] = ["/O2"]
+    else:
+        compile_args = ["-O3"]
+        if _flag("REPRO_NATIVE_AVX2"):
+            compile_args.append("-mavx2")
+    return [
+        Extension(
+            "repro.core.kernels._native",
+            sources=["src/repro/core/kernels/_native.c"],
+            extra_compile_args=compile_args,
+        )
+    ]
+
+
+class OptionalBuildExt(build_ext):
+    """Build the extension if possible; degrade to pure Python if not.
+
+    With ``REPRO_REQUIRE_NATIVE=1`` any failure propagates unchanged so
+    CI can prove the native backend actually compiled.
+    """
+
+    def run(self) -> None:
+        try:
+            super().run()
+        except (_SetuptoolsError, OSError) as exc:
+            if _flag("REPRO_REQUIRE_NATIVE"):
+                raise
+            self._warn_skipped(exc)
+
+    def build_extension(self, ext: Extension) -> None:
+        try:
+            super().build_extension(ext)
+        except (_SetuptoolsError, OSError) as exc:
+            if _flag("REPRO_REQUIRE_NATIVE"):
+                raise
+            self._warn_skipped(exc)
+
+    @staticmethod
+    def _warn_skipped(exc: BaseException) -> None:
+        print(
+            "WARNING: building the optional repro.core.kernels._native "
+            f"extension failed ({exc}); installing without it — the "
+            "'native' kernel backend will be unavailable and kernel "
+            "auto-selection will fall back to 'numpy'.",
+            file=sys.stderr,
+        )
+
+
+setup(
+    ext_modules=_extensions(),
+    cmdclass={"build_ext": OptionalBuildExt},
+)

@@ -276,6 +276,21 @@ def mine(
     if kernel is not None:
         dataset = dataset.with_kernel(kernel)
 
+    # Force kernel resolution now and attribute any auto-selection
+    # degradation (REPRO_KERNEL named an unavailable backend) to this
+    # run's counters.  An explicitly requested unavailable kernel raises
+    # KernelUnavailableError out of `dataset.kernel` instead.
+    from .core.kernels import kernel_fallback_count
+
+    before = kernel_fallback_count()
+    dataset.kernel
+    fallbacks = kernel_fallback_count() - before
+    if fallbacks:
+        run_metrics = kwargs.get("metrics")
+        if run_metrics is None:
+            run_metrics = kwargs["metrics"] = MiningMetrics()
+        run_metrics.kernel_fallbacks += fallbacks
+
     if auto_transpose:
         return _mine_transposed(dataset, thresholds, spec, kwargs)
     return _dispatch(dataset, thresholds, spec, kwargs)

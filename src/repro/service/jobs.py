@@ -206,10 +206,15 @@ def run_job_worker(job_dir: str) -> int:
                 if result is None:
                     mmap_manifest = manifest.get("mmap")
                     if mmap_manifest is not None:
+                        from ..core.kernels import preferred_words_native_kernel
+
+                        # mmap operation needs a packed-word backend so the
+                        # mapped pages are adopted zero-copy; take the
+                        # fastest one built on this interpreter.
                         dataset = Dataset3D.open_mmap(
                             mmap_manifest["path"],
                             tuple(mmap_manifest["shape"]),
-                            kernel="numpy",
+                            kernel=preferred_words_native_kernel(),
                         )
                     else:
                         try:
@@ -839,7 +844,6 @@ class JobManager:
         poison job in the queue.
         """
         source = self.root / record.id
-        record.status = "quarantined"
         record.finished = time.time()
         record.error = reason
         self.chaos.jobs_quarantined += 1
@@ -852,13 +856,18 @@ class JobManager:
             "last_error": reason,
             "fault_trace": self._fault_trace(record.id),
         }
+        # Serialize with the terminal status but only flip the live
+        # record after the move: pollers treat a terminal status as "the
+        # manifest is readable", so the flip must come last.
+        record_dict = record.to_dict()
+        record_dict["status"] = "quarantined"
         try:
             source.mkdir(parents=True, exist_ok=True)
             tmp = source / ".quarantine.json.tmp"
             tmp.write_text(json.dumps(manifest, indent=2))
             os.replace(tmp, source / "quarantine.json")
             tmp = source / ".job.json.tmp"
-            tmp.write_text(json.dumps(record.to_dict(), indent=2))
+            tmp.write_text(json.dumps(record_dict, indent=2))
             os.replace(tmp, source / "job.json")
             target_root = self.root / QUARANTINE_DIR
             target_root.mkdir(parents=True, exist_ok=True)
@@ -867,6 +876,7 @@ class JobManager:
                 shutil.move(str(source), str(target))
         except OSError:
             pass  # left in place, still terminal; fsck will flag the debris
+        record.status = "quarantined"
         with self._lock:
             self._not_before.pop(record.id, None)
             self._lock.notify_all()

@@ -1,0 +1,223 @@
+"""Native backend: availability probe, typed fallback, and zero-copy.
+
+Two halves:
+
+* **Fallback semantics** — simulated on *every* interpreter by
+  monkeypatching the import probe, so the suite proves the degradation
+  story whether or not the extension is built here: an explicit
+  ``mine(kernel="native")`` raises :class:`KernelUnavailableError`,
+  while ``REPRO_KERNEL=native`` auto-selection degrades to numpy with
+  the ``kernel_fallbacks`` counter incremented and a one-time warning.
+* **Built-extension behaviour** — gated on :func:`native_available`:
+  feature flags, cube-list identity against the baseline backend, and
+  zero-copy shared-memory adoption.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.core.kernels as kernels_pkg
+import repro.core.kernels.native_kernel as native_module
+from repro.api import mine
+from repro.cli import EXIT_UNAVAILABLE, main as cli_main
+from repro.core.constraints import Thresholds
+from repro.core.dataset import Dataset3D
+from repro.core.kernels import (
+    KernelUnavailableError,
+    NativeKernel,
+    available_kernels,
+    get_kernel,
+    kernel_fallback_count,
+    known_kernels,
+    native_available,
+    preferred_words_native_kernel,
+)
+
+needs_native = pytest.mark.skipif(
+    not native_available(), reason="_native extension not built"
+)
+
+_REASON = "simulated: extension import failed"
+
+
+@pytest.fixture
+def no_native(monkeypatch):
+    """Make the native backend known-but-unavailable, whatever is built.
+
+    Patches the import probe and the registry the way
+    ``kernels/__init__.py`` leaves them when ``import _native`` fails;
+    monkeypatch restores every attribute afterwards.
+    """
+    monkeypatch.setattr(native_module, "_native", None)
+    monkeypatch.setattr(native_module, "_IMPORT_ERROR", _REASON)
+    monkeypatch.setattr(
+        kernels_pkg,
+        "_REGISTRY",
+        {k: v for k, v in kernels_pkg._REGISTRY.items() if k != "native"},
+    )
+    monkeypatch.setattr(
+        kernels_pkg,
+        "_INSTANCES",
+        {k: v for k, v in kernels_pkg._INSTANCES.items() if k != "native"},
+    )
+    monkeypatch.setattr(kernels_pkg, "_UNAVAILABLE", {"native": _REASON})
+    monkeypatch.setattr(kernels_pkg, "_WARNED_FALLBACKS", set())
+
+
+def _dataset(seed: int = 7) -> Dataset3D:
+    rng = np.random.default_rng(seed)
+    return Dataset3D(rng.random((4, 7, 9)) < 0.5)
+
+
+# ----------------------------------------------------------------------
+# Fallback semantics (simulated missing extension)
+# ----------------------------------------------------------------------
+class TestFallback:
+    def test_native_stays_known_but_not_available(self, no_native):
+        assert "native" not in available_kernels()
+        assert "native" in known_kernels()
+        assert not native_module.native_available()
+        assert native_module.native_import_error() == _REASON
+
+    def test_get_kernel_raises_typed_error(self, no_native):
+        with pytest.raises(KernelUnavailableError) as excinfo:
+            get_kernel("native")
+        assert excinfo.value.kernel == "native"
+        assert _REASON in excinfo.value.reason
+        # Typos still get the plain unknown-name error.
+        with pytest.raises(ValueError, match="unknown kernel"):
+            get_kernel("nativ")
+
+    def test_instantiating_native_kernel_raises(self, no_native):
+        with pytest.raises(KernelUnavailableError):
+            NativeKernel()
+
+    def test_native_features_raises(self, no_native):
+        with pytest.raises(KernelUnavailableError):
+            native_module.native_features()
+
+    def test_explicit_mine_request_raises(self, no_native):
+        with pytest.raises(KernelUnavailableError, match="native"):
+            mine(_dataset(), Thresholds(1, 2, 2), kernel="native")
+
+    def test_env_auto_selection_degrades_with_counter(
+        self, no_native, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_KERNEL", "native")
+        before = kernel_fallback_count()
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            result = mine(_dataset(), Thresholds(1, 2, 2))
+        assert kernel_fallback_count() > before
+        assert result.stats.metrics.kernel_fallbacks >= 1
+        # The run degraded, not failed: same cubes as the baseline.
+        baseline = mine(_dataset(), Thresholds(1, 2, 2), kernel="python-int")
+        assert result.cubes == baseline.cubes
+
+    def test_fallback_counter_attributed_to_passed_metrics(
+        self, no_native, monkeypatch
+    ):
+        from repro.obs import MiningMetrics
+
+        monkeypatch.setenv("REPRO_KERNEL", "native")
+        metrics = MiningMetrics()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            mine(_dataset(), Thresholds(1, 2, 2), metrics=metrics)
+        assert metrics.kernel_fallbacks >= 1
+
+    def test_fallback_warns_once_per_process(self, no_native, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "native")
+        with pytest.warns(RuntimeWarning):
+            kernels_pkg.resolve_kernel(None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            resolved = kernels_pkg.resolve_kernel(None)  # silent now
+        assert resolved.name == "numpy"
+
+    def test_explicit_requests_never_increment_counter(self, no_native):
+        before = kernel_fallback_count()
+        with pytest.raises(KernelUnavailableError):
+            kernels_pkg.resolve_kernel("native")
+        assert kernel_fallback_count() == before
+
+    def test_preferred_words_native_kernel_degrades(self, no_native):
+        assert preferred_words_native_kernel() == "numpy"
+
+    def test_cli_explicit_native_exits_unavailable(
+        self, no_native, tmp_path, capsys
+    ):
+        path = tmp_path / "ds.npz"
+        _dataset().save_npz(path)
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main([
+                "mine", "--input", str(path), "--min-h", "1", "--min-r", "2",
+                "--min-c", "2", "--kernel", "native",
+            ])
+        assert excinfo.value.code == EXIT_UNAVAILABLE
+        assert "unavailable" in capsys.readouterr().err
+
+    def test_no_fallbacks_counted_on_normal_runs(self):
+        result = mine(_dataset(), Thresholds(1, 2, 2), kernel="numpy")
+        assert result.stats.metrics.kernel_fallbacks == 0
+
+
+# ----------------------------------------------------------------------
+# Built-extension behaviour
+# ----------------------------------------------------------------------
+@needs_native
+class TestNativeBuilt:
+    def test_registered_and_preferred(self):
+        assert "native" in available_kernels()
+        assert preferred_words_native_kernel() == "native"
+        assert native_module.native_import_error() is None
+
+    def test_features_flags(self):
+        features = native_module.native_features()
+        assert set(features) >= {"popcount", "simd", "big_endian"}
+        assert features["popcount"] in ("__builtin_popcountll", "swar")
+
+    def test_mine_explicit_native_matches_baseline(self):
+        thresholds = Thresholds(2, 2, 2)
+        native = mine(_dataset(), thresholds, kernel="native")
+        baseline = mine(_dataset(), thresholds, kernel="python-int")
+        assert native.cubes == baseline.cubes
+        assert native.stats.metrics.kernel_fallbacks == 0
+
+    def test_env_native_resolves_without_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "native")
+        before = kernel_fallback_count()
+        result = mine(_dataset(), Thresholds(1, 2, 2))
+        assert kernel_fallback_count() == before
+        assert result.stats.metrics.kernel_fallbacks == 0
+
+    def test_shm_attach_is_zero_copy(self):
+        from repro.parallel import ShmManager, attach_dataset, publish_dataset
+
+        dataset = _dataset().with_kernel("native")
+        with ShmManager() as manager:
+            ref = publish_dataset(dataset, manager)
+            attachment = attach_dataset(ref, kernel="native")
+            try:
+                assert attachment.zero_copy
+                assert attachment.dataset.kernel.name == "native"
+                assert np.array_equal(attachment.dataset.data, dataset.data)
+            finally:
+                attachment.close()
+
+    def test_handles_interchange_with_numpy(self):
+        """Native shares NumpyKernel's handle formats bit for bit."""
+        native = get_kernel("native")
+        numpy_kernel = get_kernel("numpy")
+        masks = [0b101101, 0b111000, 0b100101]
+        packed_np = numpy_kernel.pack_masks(masks, 70)
+        packed_nat = native.pack_masks(masks, 70)
+        assert np.array_equal(packed_np, packed_nat)
+        # A handle packed by one backend folds identically on the other.
+        assert native.fold_and(packed_np, 70) == numpy_kernel.fold_and(
+            packed_nat, 70
+        )
+        assert native.popcounts(packed_np) == numpy_kernel.popcounts(packed_nat)

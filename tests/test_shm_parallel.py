@@ -18,7 +18,7 @@ import numpy as np
 import pytest
 
 from repro.core.constraints import Thresholds
-from repro.core.kernels import available_kernels
+from repro.core.kernels import available_kernels, get_kernel
 from repro.cubeminer.algorithm import cubeminer_mine
 from repro.datasets import paper_example, random_tensor
 from repro.parallel import (
@@ -198,7 +198,12 @@ class TestDifferential:
         assert shm_run.stats.metrics.shm_datasets_published == 1
         assert pickled.stats.metrics.shm_datasets_published == 0
         assert shm_run.stats.extra["shm"]["enabled"]
-        assert shm_run.stats.extra["shm"]["zero_copy"] == (kernel == "numpy")
+        # Packed-word backends (numpy, native) adopt the shm buffer
+        # without copying; python-int unpacks and copies.
+        assert (
+            shm_run.stats.extra["shm"]["zero_copy"]
+            == get_kernel(kernel).words_native
+        )
         assert not pickled.stats.extra["shm"]["enabled"]
         assert_no_leaks()
 
